@@ -1,0 +1,81 @@
+// Command aig2cnf converts combinational ASCII AIGER circuits to DIMACS
+// CNF, optionally building an equivalence-checking miter against a second
+// circuit.
+//
+// Usage:
+//
+//	aig2cnf circuit.aag > circuit.cnf              # outputs unconstrained
+//	aig2cnf -assert circuit.aag > sat.cnf          # outputs asserted true
+//	aig2cnf -miter other.aag circuit.aag > cec.cnf # UNSAT iff equivalent
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neuroselect/internal/aiger"
+	"neuroselect/internal/cnf"
+)
+
+func main() {
+	miterPath := flag.String("miter", "", "second AIGER file: emit the equivalence miter")
+	assert := flag.Bool("assert", false, "assert every output true (without -miter)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: aig2cnf [-miter other.aag] [-assert] circuit.aag")
+		os.Exit(2)
+	}
+	g := parseFile(flag.Arg(0))
+
+	var f *cnf.Formula
+	var comments []string
+	if *miterPath != "" {
+		h := parseFile(*miterPath)
+		m, err := aiger.Miter(g, h)
+		if err != nil {
+			fatal(err)
+		}
+		f = m
+		comments = []string{
+			fmt.Sprintf("equivalence miter of %s and %s", flag.Arg(0), *miterPath),
+			"UNSAT iff the circuits are equivalent",
+		}
+	} else {
+		formula, outs, err := g.ToCNF()
+		if err != nil {
+			fatal(err)
+		}
+		if *assert {
+			for _, o := range outs {
+				formula.MustAddClause(o)
+			}
+		}
+		f = formula
+		comments = []string{fmt.Sprintf("Tseitin encoding of %s", flag.Arg(0))}
+		for i, o := range outs {
+			comments = append(comments, fmt.Sprintf("output %d is literal %d", i, o))
+		}
+	}
+	if err := cnf.WriteDIMACS(os.Stdout, f, comments...); err != nil {
+		fatal(err)
+	}
+}
+
+func parseFile(path string) *aiger.AIG {
+	fh, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer fh.Close()
+	g, err := aiger.Parse(fh)
+	if err != nil {
+		fatal(err)
+	}
+	return g
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aig2cnf:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Command dratcheck validates a DRAT unsatisfiability proof against a
+// DIMACS formula, independently of the solver that produced it.
+//
+// Usage:
+//
+//	dratcheck formula.cnf proof.drat
+//
+// Exits 0 when the proof is accepted, 1 when rejected or malformed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/drat"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print proof statistics")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: dratcheck [-v] formula.cnf proof.drat")
+		os.Exit(2)
+	}
+	ff, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer ff.Close()
+	f, err := cnf.ParseDIMACS(ff)
+	if err != nil {
+		fatal(err)
+	}
+	pf, err := os.Open(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	defer pf.Close()
+	steps, err := drat.Parse(pf)
+	if err != nil {
+		fatal(err)
+	}
+	if *verbose {
+		st := drat.Summarize(steps)
+		fmt.Printf("c proof: %d additions, %d deletions, max clause length %d\n",
+			st.Additions, st.Deletions, st.MaxLen)
+	}
+	if err := drat.Check(f, steps); err != nil {
+		fmt.Fprintln(os.Stderr, "s PROOF REJECTED:", err)
+		os.Exit(1)
+	}
+	fmt.Println("s VERIFIED")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dratcheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+// Command experiments reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-scale quick|default] [-only fig3|fig4|fig5|table1|table2|fig7|table3] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neuroselect/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "default", "experiment scale: quick or default")
+	only := flag.String("only", "", "run a single experiment (fig3, fig4, fig5, table1, table2, fig7, table3, ext-policies, ext-selectors, ext-alpha)")
+	seed := flag.Int64("seed", 0, "override the corpus seed (0 keeps the preset)")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document instead of text reports")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "default":
+		scale = experiments.DefaultScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		scale.Corpus.Seed = *seed
+	}
+	r := experiments.NewRunner(scale)
+	if !*quiet {
+		r.Log = os.Stderr
+	}
+	if *jsonOut {
+		if *only != "" {
+			fmt.Fprintln(os.Stderr, "-json runs all experiments; -only is ignored")
+		}
+		if err := r.RunAllJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := r.RunAll(os.Stdout, *only); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// Command satgen writes synthetic DIMACS instances from the generator
+// families used throughout the reproduction.
+//
+// Usage:
+//
+//	satgen -family random -n 120 -seed 3 > inst.cnf
+//	satgen -family pigeonhole -n 7 > php7.cnf
+//	satgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/gen"
+)
+
+func main() {
+	family := flag.String("family", "random", "instance family (see -list)")
+	n := flag.Int("n", 100, "primary size parameter (variables, holes, vertices, ...)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	sat := flag.Bool("sat", true, "prefer the satisfiable variant where the family supports both")
+	list := flag.Bool("list", false, "list families and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.TrimSpace(`
+random      uniform random 3-SAT at the phase transition (n = variables)
+community   community-structured random 3-SAT (n = variables)
+powerlaw    scale-free random 3-SAT with power-law occurrences (n = variables)
+pigeonhole  PHP(n+1, n), always UNSAT (n = holes)
+tseitin     Tseitin over a random cubic graph (n = vertices; -sat selects polarity)
+parity      random XOR system from a hidden assignment (n = variables)
+coloring    random graph 4-coloring (n = vertices)
+queens      n-queens
+miter       combinational equivalence miter (n = inputs; -sat=false is the equivalent/UNSAT case)
+bmc         bounded-model-checking counter (n = steps; -sat selects polarity)
+subsetsum   subset-sum via adder circuits (n = values; -sat selects polarity)`))
+		return
+	}
+
+	var inst gen.Instance
+	switch *family {
+	case "random":
+		inst = gen.RandomKSAT(*n, int(4.26*float64(*n)), 3, *seed)
+	case "community":
+		inst = gen.CommunityKSAT(*n, int(4.2*float64(*n)), 3, 5, 0.85, *seed)
+	case "powerlaw":
+		inst = gen.PowerLawKSAT(*n, int(4.4*float64(*n)), 3, 0.9, *seed)
+	case "pigeonhole":
+		inst = gen.Pigeonhole(*n)
+	case "tseitin":
+		inst = gen.Tseitin(*n, 3, *sat, *seed)
+	case "parity":
+		inst = gen.ParityChain(*n, (*n*4)/5, 5, *sat, *seed)
+	case "coloring":
+		inst = gen.GraphColoring(*n, int(4.6*float64(*n)), 4, *seed)
+	case "queens":
+		inst = gen.NQueens(*n)
+	case "miter":
+		inst = gen.Miter(*n, 20**n, !*sat, *seed)
+	case "bmc":
+		target := uint64(*n + *n/2)
+		if !*sat {
+			target = uint64(2**n + 3)
+		}
+		inst = gen.BMCCounter(6, *n, target)
+	case "subsetsum":
+		inst = gen.SubsetSum(*n, 50, *sat, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "satgen: unknown family %q (use -list)\n", *family)
+		os.Exit(2)
+	}
+	if err := cnf.WriteDIMACS(os.Stdout, inst.F,
+		fmt.Sprintf("generator: %s", inst.Name),
+		fmt.Sprintf("expected: %s", inst.Expected)); err != nil {
+		fmt.Fprintln(os.Stderr, "satgen:", err)
+		os.Exit(1)
+	}
+}

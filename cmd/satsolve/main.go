@@ -1,0 +1,95 @@
+// Command satsolve is a DIMACS CNF solver with selectable clause-deletion
+// policies.
+//
+// Usage:
+//
+//	satsolve [-policy default|frequency|activity|size] [-conflicts N] [-stats] file.cnf
+//
+// Reads from stdin when no file is given. Exits 10 for SAT, 20 for UNSAT
+// (the SAT-competition convention), 0 for unknown.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"neuroselect"
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/solver"
+)
+
+func main() {
+	policy := flag.String("policy", "default", "clause-deletion policy: default, frequency, activity, size")
+	conflicts := flag.Int64("conflicts", 0, "conflict budget (0 = unlimited)")
+	stats := flag.Bool("stats", false, "print solver statistics")
+	model := flag.Bool("model", true, "print the satisfying assignment (v lines)")
+	simplify := flag.Bool("simplify", false, "preprocess with unit propagation, pure literals, subsumption")
+	proofPath := flag.String("proof", "", "write a DRAT proof to this file (incompatible with -simplify)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	f, err := cnf.ParseDIMACS(in)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := neuroselect.SolveConfig{Policy: *policy, MaxConflicts: *conflicts, Preprocess: *simplify}
+	var proofFile *os.File
+	if *proofPath != "" {
+		proofFile, err = os.Create(*proofPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer proofFile.Close()
+		cfg.Proof = neuroselect.NewProofWriter(proofFile)
+	}
+	res, err := neuroselect.Solve(f, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if cfg.Proof != nil {
+		if err := cfg.Proof.Flush(); err != nil {
+			fatal(err)
+		}
+	}
+	if *stats {
+		st := res.Stats
+		fmt.Printf("c policy=%s decisions=%d propagations=%d conflicts=%d restarts=%d reductions=%d learned=%d deleted=%d\n",
+			*policy, st.Decisions, st.Propagations, st.Conflicts, st.Restarts, st.Reductions, st.Learned, st.Deleted)
+	}
+	switch res.Status {
+	case solver.Sat:
+		fmt.Println("s SATISFIABLE")
+		if *model {
+			fmt.Print("v")
+			for v := 1; v <= f.NumVars; v++ {
+				l := v
+				if !res.Model[v] {
+					l = -v
+				}
+				fmt.Printf(" %d", l)
+			}
+			fmt.Println(" 0")
+		}
+		os.Exit(10)
+	case solver.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		os.Exit(20)
+	default:
+		fmt.Println("s UNKNOWN")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "satsolve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Quickstart: build a formula through the public API, solve it, and
+// inspect the model and statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"neuroselect"
+)
+
+func main() {
+	// A formula built programmatically: (x1 ∨ x2) ∧ (¬x1 ∨ x3) ∧ (¬x2 ∨ ¬x3).
+	f := neuroselect.NewFormula(3)
+	f.MustAddClause(1, 2)
+	f.MustAddClause(-1, 3)
+	f.MustAddClause(-2, -3)
+
+	res, err := neuroselect.Solve(f, neuroselect.SolveConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("status:", res.Status)
+	if res.Status == neuroselect.Sat {
+		for v := 1; v <= f.NumVars; v++ {
+			fmt.Printf("  x%d = %v\n", v, res.Model[v])
+		}
+	}
+
+	// The same works for DIMACS input, here an unsatisfiable core.
+	dimacs := `
+c tiny UNSAT example
+p cnf 2 4
+1 2 0
+1 -2 0
+-1 2 0
+-1 -2 0
+`
+	g, err := neuroselect.ParseDIMACS(strings.NewReader(dimacs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := neuroselect.Solve(g, neuroselect.SolveConfig{Policy: "frequency"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dimacs status: %v (conflicts=%d, propagations=%d)\n",
+		res2.Status, res2.Stats.Conflicts, res2.Stats.Propagations)
+}

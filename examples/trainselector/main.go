@@ -1,0 +1,38 @@
+// trainselector trains the NeuroSelect model end-to-end on a freshly
+// labeled corpus, then uses it to route new instances to a deletion policy
+// (the NeuroSelect-Kissat flow of §5.4).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"neuroselect"
+	"neuroselect/internal/gen"
+)
+
+func main() {
+	fmt.Println("training a quick-scale selector (labeled corpus + HGT model)...")
+	model, err := neuroselect.TrainSelector(neuroselect.TrainerConfig{Scale: "quick", Log: os.Stderr})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fresh := []gen.Instance{
+		gen.RandomKSAT(140, 596, 3, 901),
+		gen.Pigeonhole(6),
+		gen.Miter(10, 150, false, 902),
+		gen.GraphColoring(28, 128, 4, 903),
+	}
+	fmt.Printf("\n%-28s %-12s %s\n", "instance", "policy", "p(frequency wins)")
+	for _, in := range fresh {
+		prob, policy := neuroselect.PredictPolicy(in.F, model)
+		fmt.Printf("%-28s %-12s %.3f\n", in.Name, policy, prob)
+		res, err := neuroselect.SolveAdaptive(in.F, model, neuroselect.SolveConfig{MaxConflicts: 50000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  -> %v in %d propagations\n", res.Status, res.Stats.Propagations)
+	}
+}

@@ -1,0 +1,3 @@
+module neuroselect
+
+go 1.22

@@ -1,0 +1,305 @@
+// Package aiger reads and writes combinational and-inverter graphs in the
+// ASCII AIGER format ("aag", Biere 2007), the lingua franca of hardware
+// model checking and equivalence checking. Circuits convert to CNF through
+// the Tseitin builder, and two circuits combine into an equivalence-
+// checking miter — the industrial workload motivating the paper.
+//
+// The supported subset is combinational AIGER: latches are rejected.
+// AIGER literal conventions apply: variable v has literal 2v, its negation
+// 2v+1; literal 0 is constant false and 1 constant true.
+package aiger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"neuroselect/internal/circuit"
+	"neuroselect/internal/cnf"
+)
+
+// AIG is a combinational and-inverter graph.
+type AIG struct {
+	// MaxVar is the largest variable index (the M field of the header).
+	MaxVar int
+	// Inputs holds the input literals (always even, positive).
+	Inputs []int
+	// Outputs holds the output literals (possibly negated or constant).
+	Outputs []int
+	// Ands holds the gates; each LHS is an even literal defined once.
+	Ands []And
+	// Comments preserves trailing comment lines.
+	Comments []string
+}
+
+// And is one and-gate: LHS = RHS0 ∧ RHS1 in AIGER literal encoding.
+type And struct {
+	LHS, RHS0, RHS1 int
+}
+
+// Parse reads an ASCII AIGER file.
+func Parse(r io.Reader) (*AIG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("aiger: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 6 || header[0] != "aag" {
+		return nil, fmt.Errorf("aiger: malformed header %q (only ASCII 'aag' is supported)", sc.Text())
+	}
+	nums := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		v, err := strconv.Atoi(header[i+1])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("aiger: bad header field %q", header[i+1])
+		}
+		nums[i] = v
+	}
+	m, ni, nl, no, na := nums[0], nums[1], nums[2], nums[3], nums[4]
+	if nl != 0 {
+		return nil, fmt.Errorf("aiger: %d latches present; only combinational circuits are supported", nl)
+	}
+	g := &AIG{MaxVar: m}
+	readLits := func(count int, what string, fields int) ([][]int, error) {
+		rows := make([][]int, 0, count)
+		for i := 0; i < count; i++ {
+			if !sc.Scan() {
+				return nil, fmt.Errorf("aiger: truncated %s section", what)
+			}
+			parts := strings.Fields(sc.Text())
+			if len(parts) != fields {
+				return nil, fmt.Errorf("aiger: %s line %q needs %d fields", what, sc.Text(), fields)
+			}
+			row := make([]int, fields)
+			for j, p := range parts {
+				v, err := strconv.Atoi(p)
+				if err != nil || v < 0 {
+					return nil, fmt.Errorf("aiger: bad literal %q in %s", p, what)
+				}
+				if v > 2*m+1 {
+					return nil, fmt.Errorf("aiger: literal %d exceeds maxvar %d", v, m)
+				}
+				row[j] = v
+			}
+			rows = append(rows, row)
+		}
+		return rows, nil
+	}
+	ins, err := readLits(ni, "input", 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range ins {
+		if row[0]%2 != 0 || row[0] == 0 {
+			return nil, fmt.Errorf("aiger: input literal %d must be a positive even literal", row[0])
+		}
+		g.Inputs = append(g.Inputs, row[0])
+	}
+	outs, err := readLits(no, "output", 1)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range outs {
+		g.Outputs = append(g.Outputs, row[0])
+	}
+	ands, err := readLits(na, "and", 3)
+	if err != nil {
+		return nil, err
+	}
+	defined := map[int]bool{}
+	for _, in := range g.Inputs {
+		defined[in] = true
+	}
+	for _, row := range ands {
+		lhs := row[0]
+		if lhs%2 != 0 || lhs == 0 {
+			return nil, fmt.Errorf("aiger: and-gate LHS %d must be a positive even literal", lhs)
+		}
+		if defined[lhs] {
+			return nil, fmt.Errorf("aiger: literal %d defined twice", lhs)
+		}
+		defined[lhs] = true
+		g.Ands = append(g.Ands, And{LHS: lhs, RHS0: row[1], RHS1: row[2]})
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "c" {
+			continue
+		}
+		g.Comments = append(g.Comments, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("aiger: read: %w", err)
+	}
+	return g, nil
+}
+
+// ParseString parses an AIGER description held in a string.
+func ParseString(s string) (*AIG, error) { return Parse(strings.NewReader(s)) }
+
+// Write emits the circuit in ASCII AIGER format.
+func Write(w io.Writer, g *AIG) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", g.MaxVar, len(g.Inputs), len(g.Outputs), len(g.Ands))
+	for _, in := range g.Inputs {
+		fmt.Fprintf(bw, "%d\n", in)
+	}
+	for _, out := range g.Outputs {
+		fmt.Fprintf(bw, "%d\n", out)
+	}
+	for _, a := range g.Ands {
+		fmt.Fprintf(bw, "%d %d %d\n", a.LHS, a.RHS0, a.RHS1)
+	}
+	if len(g.Comments) > 0 {
+		fmt.Fprintln(bw, "c")
+		for _, c := range g.Comments {
+			fmt.Fprintln(bw, c)
+		}
+	}
+	return bw.Flush()
+}
+
+// wireOf resolves an AIGER literal to a circuit wire given the variable
+// mapping.
+func wireOf(b *circuit.Builder, vars map[int]circuit.Wire, lit int) (circuit.Wire, error) {
+	switch lit {
+	case 0:
+		return b.False(), nil
+	case 1:
+		return b.True(), nil
+	}
+	w, ok := vars[lit/2]
+	if !ok {
+		return 0, fmt.Errorf("aiger: literal %d references undefined variable %d", lit, lit/2)
+	}
+	if lit%2 == 1 {
+		return b.Not(w), nil
+	}
+	return w, nil
+}
+
+// build instantiates the AIG in the Tseitin builder and returns the output
+// wires. Gates must be topologically ordered (RHS defined before use), the
+// convention of AIGER files.
+func (g *AIG) build(b *circuit.Builder) ([]circuit.Wire, error) {
+	vars := map[int]circuit.Wire{}
+	for _, in := range g.Inputs {
+		vars[in/2] = b.Input()
+	}
+	for _, a := range g.Ands {
+		x, err := wireOf(b, vars, a.RHS0)
+		if err != nil {
+			return nil, err
+		}
+		y, err := wireOf(b, vars, a.RHS1)
+		if err != nil {
+			return nil, err
+		}
+		vars[a.LHS/2] = b.And(x, y)
+	}
+	outs := make([]circuit.Wire, len(g.Outputs))
+	for i, o := range g.Outputs {
+		w, err := wireOf(b, vars, o)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = w
+	}
+	return outs, nil
+}
+
+// ToCNF converts the circuit to CNF. Outputs are left unconstrained; the
+// returned wires identify them for assumptions or assertions. The wires of
+// the primary inputs are the first len(Inputs) variables in order.
+func (g *AIG) ToCNF() (*cnf.Formula, []circuit.Wire, error) {
+	b := circuit.New()
+	outs, err := g.build(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return b.Formula(), outs, nil
+}
+
+// Miter builds the combinational equivalence-checking CNF of two circuits
+// with matching input and output counts: shared inputs, outputs pairwise
+// XORed, and the OR of the differences asserted. The miter is
+// unsatisfiable exactly when the circuits are equivalent.
+func Miter(a, bb *AIG) (*cnf.Formula, error) {
+	if len(a.Inputs) != len(bb.Inputs) {
+		return nil, fmt.Errorf("aiger: input count mismatch %d vs %d", len(a.Inputs), len(bb.Inputs))
+	}
+	if len(a.Outputs) != len(bb.Outputs) {
+		return nil, fmt.Errorf("aiger: output count mismatch %d vs %d", len(a.Outputs), len(bb.Outputs))
+	}
+	b := circuit.New()
+	shared := b.Inputs(len(a.Inputs))
+
+	instantiate := func(g *AIG) ([]circuit.Wire, error) {
+		vars := map[int]circuit.Wire{}
+		for i, in := range g.Inputs {
+			vars[in/2] = shared[i]
+		}
+		for _, gate := range g.Ands {
+			x, err := wireOf(b, vars, gate.RHS0)
+			if err != nil {
+				return nil, err
+			}
+			y, err := wireOf(b, vars, gate.RHS1)
+			if err != nil {
+				return nil, err
+			}
+			vars[gate.LHS/2] = b.And(x, y)
+		}
+		outs := make([]circuit.Wire, len(g.Outputs))
+		for i, o := range g.Outputs {
+			w, err := wireOf(b, vars, o)
+			if err != nil {
+				return nil, err
+			}
+			outs[i] = w
+		}
+		return outs, nil
+	}
+
+	outsA, err := instantiate(a)
+	if err != nil {
+		return nil, err
+	}
+	b.ClearCache() // the copy must not share structure with the original
+	outsB, err := instantiate(bb)
+	if err != nil {
+		return nil, err
+	}
+	diff := b.False()
+	for i := range outsA {
+		diff = b.Or(diff, b.Xor(outsA[i], outsB[i]))
+	}
+	b.Assert(diff)
+	return b.Formula(), nil
+}
+
+// FromCircuitSpec renders a gen-style layered random circuit as an AIG for
+// testing and demos: op codes 'A' (and), 'O' (or, as ¬(¬x∧¬y)), 'X' (xor,
+// expanded into three and-gates).
+func FromCircuitSpec(inputs int, build func(addAnd func(x, y int) int, inputLits []int) []int) *AIG {
+	g := &AIG{}
+	next := 1
+	inputLits := make([]int, inputs)
+	for i := range inputLits {
+		inputLits[i] = 2 * next
+		g.Inputs = append(g.Inputs, 2*next)
+		next++
+	}
+	addAnd := func(x, y int) int {
+		lhs := 2 * next
+		next++
+		g.Ands = append(g.Ands, And{LHS: lhs, RHS0: x, RHS1: y})
+		return lhs
+	}
+	g.Outputs = build(addAnd, inputLits)
+	g.MaxVar = next - 1
+	return g
+}

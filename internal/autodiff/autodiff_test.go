@@ -1,0 +1,289 @@
+package autodiff
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"neuroselect/internal/tensor"
+)
+
+// gradCheck compares the analytic gradient of loss(x) with central finite
+// differences at every coordinate of x. build must construct the scalar
+// loss from a fresh tape and the leaf for x.
+func gradCheck(t *testing.T, name string, x *tensor.Matrix, build func(tp *Tape, xv *Value) *Value) {
+	t.Helper()
+	tp := NewTape()
+	xv := tp.Leaf(x)
+	loss := build(tp, xv)
+	tp.Backward(loss)
+	analytic := xv.Grad()
+	if analytic == nil {
+		t.Fatalf("%s: no gradient reached the leaf", name)
+	}
+
+	const h = 1e-6
+	for i := range x.Data {
+		orig := x.Data[i]
+		x.Data[i] = orig + h
+		lp := evalLoss(x, build)
+		x.Data[i] = orig - h
+		lm := evalLoss(x, build)
+		x.Data[i] = orig
+		numeric := (lp - lm) / (2 * h)
+		got := analytic.Data[i]
+		scale := math.Max(1, math.Max(math.Abs(numeric), math.Abs(got)))
+		if math.Abs(numeric-got)/scale > 1e-4 {
+			t.Fatalf("%s: grad[%d] analytic %.8f vs numeric %.8f", name, i, got, numeric)
+		}
+	}
+}
+
+func evalLoss(x *tensor.Matrix, build func(tp *Tape, xv *Value) *Value) float64 {
+	tp := NewTape()
+	xv := tp.Leaf(x)
+	return build(tp, xv).M.Data[0]
+}
+
+func randMat(rng *rand.Rand, r, c int) *tensor.Matrix {
+	m := tensor.New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func TestGradMatMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := randMat(rng, 4, 3)
+	gradCheck(t, "matmul-left", randMat(rng, 2, 4), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.MatMul(xv, tp.Leaf(b)))
+	})
+	a := randMat(rng, 2, 4)
+	gradCheck(t, "matmul-right", randMat(rng, 4, 3), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.MatMul(tp.Leaf(a), xv))
+	})
+}
+
+func TestGradElementwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	gradCheck(t, "relu", randMat(rng, 3, 3), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.ReLU(xv))
+	})
+	gradCheck(t, "sigmoid", randMat(rng, 3, 3), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Sigmoid(xv))
+	})
+	gradCheck(t, "tanh", randMat(rng, 3, 3), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Tanh(xv))
+	})
+	gradCheck(t, "scale+addscalar", randMat(rng, 2, 5), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.AddScalar(tp.Scale(xv, -1.7), 0.3))
+	})
+}
+
+func TestGradHadamardAddSub(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := randMat(rng, 3, 4)
+	gradCheck(t, "hadamard", randMat(rng, 3, 4), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Hadamard(xv, tp.Leaf(b)))
+	})
+	gradCheck(t, "add", randMat(rng, 3, 4), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Add(xv, tp.Leaf(b)))
+	})
+	gradCheck(t, "sub", randMat(rng, 3, 4), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Sub(tp.Leaf(b), xv))
+	})
+	// Value used twice: gradient must accumulate from both paths.
+	gradCheck(t, "shared-use", randMat(rng, 3, 4), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Add(tp.Hadamard(xv, xv), xv))
+	})
+}
+
+func TestGradReductionsAndBroadcast(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	gradCheck(t, "rowmean", randMat(rng, 5, 3), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Sigmoid(tp.RowMean(xv)))
+	})
+	gradCheck(t, "colsums", randMat(rng, 5, 3), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Tanh(tp.ColSums(xv)))
+	})
+	a := randMat(rng, 4, 3)
+	gradCheck(t, "broadcast-row", randMat(rng, 1, 3), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Sigmoid(tp.AddRowBroadcast(tp.Leaf(a), xv)))
+	})
+	gradCheck(t, "broadcast-base", randMat(rng, 4, 3), func(tp *Tape, xv *Value) *Value {
+		r := randMat(rand.New(rand.NewSource(9)), 1, 3)
+		return tp.MeanScalar(tp.Sigmoid(tp.AddRowBroadcast(xv, tp.Leaf(r))))
+	})
+}
+
+func TestGradRowScaleReciprocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := tensor.New(4, 1)
+	for i := range d.Data {
+		d.Data[i] = 1.5 + rng.Float64() // keep away from zero
+	}
+	gradCheck(t, "rowscale-a", randMat(rng, 4, 3), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.RowScale(xv, tp.Leaf(d)))
+	})
+	a := randMat(rng, 4, 3)
+	gradCheck(t, "rowscale-d", d.Clone(), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.RowScale(tp.Leaf(a), xv))
+	})
+	gradCheck(t, "reciprocal", d.Clone(), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Reciprocal(xv))
+	})
+}
+
+func TestGradFrobNormalize(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	gradCheck(t, "frobnorm", randMat(rng, 3, 4), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Sigmoid(tp.FrobNormalize(xv)))
+	})
+}
+
+func TestGradTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := randMat(rng, 2, 4)
+	gradCheck(t, "transpose", randMat(rng, 4, 3), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.MatMul(tp.Leaf(b), tp.Transpose(tp.Transpose(xv))))
+	})
+}
+
+func TestGradSpMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := tensor.NewSparse(4, 5)
+	s.Add(0, 1, 1.0)
+	s.Add(0, 3, -1.0)
+	s.Add(1, 0, 0.5)
+	s.Add(2, 2, 2.0)
+	s.Add(3, 4, -0.25)
+	s.Add(3, 1, 1.0)
+	gradCheck(t, "spmm", randMat(rng, 5, 3), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Tanh(tp.SpMM(s, xv)))
+	})
+}
+
+func TestGradConcatSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	b := randMat(rng, 3, 2)
+	gradCheck(t, "concat-cols", randMat(rng, 3, 4), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Sigmoid(tp.ConcatCols(xv, tp.Leaf(b))))
+	})
+	gradCheck(t, "slice-rows", randMat(rng, 6, 3), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Tanh(tp.SliceRows(xv, 1, 4)))
+	})
+	c := randMat(rng, 2, 3)
+	gradCheck(t, "concat-rows", randMat(rng, 3, 3), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Sigmoid(tp.ConcatRows(xv, tp.Leaf(c))))
+	})
+}
+
+func TestGradBCEWithLogits(t *testing.T) {
+	for _, y := range []float64{0, 1, 0.3} {
+		x := tensor.FromSlice(1, 1, []float64{0.7})
+		gradCheck(t, "bce", x, func(tp *Tape, xv *Value) *Value {
+			return tp.BCEWithLogits(xv, y)
+		})
+	}
+	// Extreme logits must stay finite.
+	tp := NewTape()
+	z := tp.Leaf(tensor.FromSlice(1, 1, []float64{1000}))
+	l := tp.BCEWithLogits(z, 0)
+	if math.IsInf(l.M.Data[0], 0) || math.IsNaN(l.M.Data[0]) {
+		t.Fatalf("BCE not stable at large logits: %v", l.M.Data[0])
+	}
+	tp.Backward(l)
+	if g := z.Grad().Data[0]; math.Abs(g-1) > 1e-9 {
+		t.Fatalf("BCE grad at huge logit, y=0: got %v, want 1", g)
+	}
+}
+
+func TestGradLinearAttentionComposite(t *testing.T) {
+	// End-to-end check of the Eq. 8–9 composite used by the model.
+	rng := rand.New(rand.NewSource(10))
+	wq := randMat(rng, 3, 3)
+	wk := randMat(rng, 3, 3)
+	wv := randMat(rng, 3, 3)
+	attention := func(tp *Tape, z *Value) *Value {
+		n := float64(z.M.Rows)
+		q := tp.FrobNormalize(tp.MatMul(z, tp.Leaf(wq)))
+		k := tp.FrobNormalize(tp.MatMul(z, tp.Leaf(wk)))
+		v := tp.MatMul(z, tp.Leaf(wv))
+		ks := tp.Transpose(tp.ColSums(k))
+		d := tp.AddScalar(tp.Scale(tp.MatMul(q, ks), 1/n), 1)
+		kv := tp.MatMul(tp.Transpose(k), v)
+		numer := tp.Add(v, tp.Scale(tp.MatMul(q, kv), 1/n))
+		return tp.MeanScalar(tp.RowScale(numer, tp.Reciprocal(d)))
+	}
+	gradCheck(t, "linear-attention", randMat(rng, 5, 3), attention)
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-scalar Backward")
+		}
+	}()
+	tp := NewTape()
+	x := tp.Leaf(tensor.New(2, 2))
+	tp.Backward(x)
+}
+
+func TestTapeReset(t *testing.T) {
+	tp := NewTape()
+	x := tp.Leaf(tensor.FromSlice(1, 1, []float64{2}))
+	loss := tp.MeanScalar(tp.Hadamard(x, x))
+	tp.Backward(loss)
+	if g := x.Grad().Data[0]; math.Abs(g-4) > 1e-12 {
+		t.Fatalf("grad %v, want 4", g)
+	}
+	tp.Reset()
+	// A fresh forward on the reset tape accumulates independently.
+	y := tp.Leaf(tensor.FromSlice(1, 1, []float64{3}))
+	loss2 := tp.MeanScalar(y)
+	tp.Backward(loss2)
+	if g := y.Grad().Data[0]; math.Abs(g-1) > 1e-12 {
+		t.Fatalf("grad after reset %v, want 1", g)
+	}
+}
+
+func TestGradPermuteRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	perm := []int{2, 0, 3, 1}
+	gradCheck(t, "permute-rows", randMat(rng, 4, 3), func(tp *Tape, xv *Value) *Value {
+		return tp.MeanScalar(tp.Sigmoid(tp.PermuteRows(xv, perm)))
+	})
+}
+
+func TestDeepChainGradient(t *testing.T) {
+	// A 40-layer chain must backpropagate stably (no vanishing to exact 0,
+	// no NaN).
+	rng := rand.New(rand.NewSource(21))
+	x := randMat(rng, 2, 2)
+	tp := NewTape()
+	v := tp.Leaf(x)
+	for i := 0; i < 40; i++ {
+		v = tp.Tanh(v)
+	}
+	loss := tp.MeanScalar(v)
+	tp.Backward(loss)
+	g := tp.nodes[0].Grad()
+	for _, gv := range g.Data {
+		if math.IsNaN(gv) || math.IsInf(gv, 0) {
+			t.Fatalf("unstable deep gradient: %v", gv)
+		}
+	}
+}
+
+func TestGradAccumulationAcrossBranches(t *testing.T) {
+	// y = x·a + x·b shares x: grad must be a+b columns-wise.
+	rng := rand.New(rand.NewSource(22))
+	a := randMat(rng, 3, 2)
+	b := randMat(rng, 3, 2)
+	gradCheck(t, "branch-accumulation", randMat(rng, 2, 3), func(tp *Tape, xv *Value) *Value {
+		left := tp.MatMul(xv, tp.Leaf(a))
+		right := tp.MatMul(xv, tp.Leaf(b))
+		return tp.MeanScalar(tp.Add(left, right))
+	})
+}

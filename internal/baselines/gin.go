@@ -1,0 +1,106 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"neuroselect/internal/autodiff"
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/nn"
+	"neuroselect/internal/satgraph"
+	"neuroselect/internal/tensor"
+)
+
+// onesCol returns an n×1 all-ones matrix, used to broadcast scalar
+// parameters across rows.
+func onesCol(n int) *tensor.Matrix {
+	m := tensor.New(n, 1)
+	for i := range m.Data {
+		m.Data[i] = 1
+	}
+	return m
+}
+
+// GIN is a Graph Isomorphism Network classifier over the variable–clause
+// graph, following the configuration G4SATBench uses for satisfiability-
+// style prediction tasks: sum aggregation over signed edges, a learnable
+// epsilon self-weight, and a two-layer MLP per GIN layer, with a mean
+// readout over variable nodes.
+type GIN struct {
+	Hidden int
+	Layers int
+	Params *nn.Params
+
+	eps  []*nn.Param
+	mlps []*nn.MLP
+	head *nn.MLP
+}
+
+// NewGIN constructs the baseline with the given hidden size and layer
+// count.
+func NewGIN(hidden, layers int, seed int64) *GIN {
+	rng := rand.New(rand.NewSource(seed))
+	p := nn.NewParams()
+	m := &GIN{Hidden: hidden, Layers: layers, Params: p}
+	for l := 0; l < layers; l++ {
+		m.eps = append(m.eps, p.New(fmt.Sprintf("gin%d.eps", l), 1, 1, "zero", rng))
+		m.mlps = append(m.mlps, nn.NewMLP(p, fmt.Sprintf("gin%d.mlp", l), []int{hidden, hidden, hidden}, rng))
+	}
+	m.head = nn.NewMLP(p, "head", []int{hidden, hidden, 1}, rng)
+	return m
+}
+
+// Logit runs the forward pass for one variable–clause graph.
+func (m *GIN) Logit(t *autodiff.Tape, g *satgraph.VCG) *autodiff.Value {
+	x := t.Leaf(g.InitialFeatures(m.Hidden))
+	for l := 0; l < m.Layers; l++ {
+		agg := t.SpMM(g.AdjRaw, x) // sum aggregation with signed weights
+		epsV := m.Params.V(m.eps[l])
+		// (1+eps)·h_v + Σ h_u, with eps broadcast as a scalar.
+		selfScaled := t.Add(x, t.RowScale(x, t.MatMul(t.Leaf(onesCol(x.M.Rows)), epsV)))
+		x = t.ReLU(m.mlps[l].Apply(m.Params, t, t.Add(selfScaled, agg)))
+	}
+	vars := t.SliceRows(x, 0, g.NumVars)
+	return m.head.Apply(m.Params, t, t.RowMean(vars))
+}
+
+// Predict returns the probability of label 1 for the formula.
+func (m *GIN) Predict(f *cnf.Formula) float64 {
+	g := satgraph.BuildVCG(f)
+	t := autodiff.NewTape()
+	m.Params.Bind(t)
+	return sigmoid(m.Logit(t, g).M.Data[0])
+}
+
+// Name implements the Table 2 classifier interface.
+func (m *GIN) Name() string { return "G4SATBench (GIN)" }
+
+// Fit trains the classifier on labeled formulas with Adam + BCE, batch
+// size 1.
+func (m *GIN) Fit(fs []*cnf.Formula, labels []int, epochs int, lr float64, seed int64) float64 {
+	graphs := make([]*satgraph.VCG, len(fs))
+	for i, f := range fs {
+		graphs[i] = satgraph.BuildVCG(f)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	opt := nn.NewAdam(lr)
+	order := make([]int, len(fs))
+	for i := range order {
+		order[i] = i
+	}
+	last := 0.0
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0.0
+		for _, i := range order {
+			t := autodiff.NewTape()
+			m.Params.Bind(t)
+			loss := t.BCEWithLogits(m.Logit(t, graphs[i]), float64(labels[i]))
+			t.Backward(loss)
+			opt.Step(m.Params)
+			total += loss.M.Data[0]
+		}
+		last = total / float64(len(fs))
+	}
+	return last
+}

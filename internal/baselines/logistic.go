@@ -1,0 +1,182 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"neuroselect/internal/cnf"
+)
+
+// Logistic is a feature-engineered logistic-regression baseline: instead of
+// learning a graph representation it classifies hand-crafted structural
+// statistics of the CNF. It is not part of the paper's Table 2 but serves
+// as the classical-ML reference point in the extension experiments — if a
+// GNN cannot beat 14 summary statistics, its graph encoding adds nothing.
+type Logistic struct {
+	w    []float64
+	b    float64
+	mean []float64
+	std  []float64
+}
+
+// NumFeatures is the dimensionality of the feature vector.
+const NumFeatures = 14
+
+// Features extracts the structural statistics of a formula: problem size,
+// clause-length distribution, variable-occurrence distribution, polarity
+// balance, and the clause/variable ratio band around the random-3SAT phase
+// transition.
+func Features(f *cnf.Formula) []float64 {
+	st := cnf.ComputeStats(f)
+	feats := make([]float64, NumFeatures)
+	n := float64(st.NumVars)
+	m := float64(st.NumClauses)
+	if n == 0 || m == 0 {
+		return feats
+	}
+	feats[0] = math.Log1p(n)
+	feats[1] = math.Log1p(m)
+	feats[2] = m / n
+	feats[3] = st.MeanClause
+	feats[4] = float64(st.MinClauseLen)
+	feats[5] = float64(st.MaxClauseLen)
+	// Clause-length histogram shares for lengths 1..3 and long clauses.
+	feats[6] = float64(st.ClauseLenHist[1]) / m
+	feats[7] = float64(st.ClauseLenHist[2]) / m
+	feats[8] = float64(st.ClauseLenHist[3]) / m
+	long := 0
+	for k := 8; k < len(st.ClauseLenHist); k++ {
+		long += st.ClauseLenHist[k]
+	}
+	feats[9] = float64(long) / m
+	// Variable-occurrence distribution: mean, coefficient of variation,
+	// max share, and Gini-style top-decile share.
+	occ := append([]int(nil), st.VarOccurrences[1:]...)
+	sort.Ints(occ)
+	total := 0.0
+	for _, o := range occ {
+		total += float64(o)
+	}
+	meanOcc := total / n
+	varOcc := 0.0
+	for _, o := range occ {
+		d := float64(o) - meanOcc
+		varOcc += d * d
+	}
+	feats[10] = meanOcc
+	if meanOcc > 0 {
+		feats[11] = math.Sqrt(varOcc/n) / meanOcc
+	}
+	if total > 0 {
+		feats[12] = float64(occ[len(occ)-1]) / total
+		topDecile := 0.0
+		for i := len(occ) - (len(occ)+9)/10; i < len(occ); i++ {
+			topDecile += float64(occ[i])
+		}
+		feats[13] = topDecile / total
+	}
+	return feats
+}
+
+// NewLogistic returns an untrained model.
+func NewLogistic() *Logistic {
+	return &Logistic{w: make([]float64, NumFeatures)}
+}
+
+// Fit trains by gradient descent on BCE with feature standardization.
+func (l *Logistic) Fit(fs []*cnf.Formula, labels []int, epochs int, lr float64, seed int64) float64 {
+	X := make([][]float64, len(fs))
+	for i, f := range fs {
+		X[i] = Features(f)
+	}
+	l.standardize(X)
+	for i := range X {
+		X[i] = l.apply(X[i])
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order := rng.Perm(len(X))
+	last := 0.0
+	for e := 0; e < epochs; e++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		total := 0.0
+		for _, i := range order {
+			p := l.prob(X[i])
+			y := float64(labels[i])
+			// BCE gradient: (p − y)·x
+			g := p - y
+			for j, x := range X[i] {
+				l.w[j] -= lr * g * x
+			}
+			l.b -= lr * g
+			total += bce(p, y)
+		}
+		last = total / float64(len(X))
+	}
+	return last
+}
+
+// standardize fits per-feature mean/std from the training matrix.
+func (l *Logistic) standardize(X [][]float64) {
+	l.mean = make([]float64, NumFeatures)
+	l.std = make([]float64, NumFeatures)
+	n := float64(len(X))
+	if n == 0 {
+		for j := range l.std {
+			l.std[j] = 1
+		}
+		return
+	}
+	for _, row := range X {
+		for j, v := range row {
+			l.mean[j] += v
+		}
+	}
+	for j := range l.mean {
+		l.mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - l.mean[j]
+			l.std[j] += d * d
+		}
+	}
+	for j := range l.std {
+		l.std[j] = math.Sqrt(l.std[j] / n)
+		if l.std[j] < 1e-9 {
+			l.std[j] = 1
+		}
+	}
+}
+
+func (l *Logistic) apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - l.mean[j]) / l.std[j]
+	}
+	return out
+}
+
+func (l *Logistic) prob(x []float64) float64 {
+	z := l.b
+	for j, v := range x {
+		z += l.w[j] * v
+	}
+	return sigmoid(z)
+}
+
+// Predict returns the probability of label 1.
+func (l *Logistic) Predict(f *cnf.Formula) float64 {
+	if l.mean == nil {
+		return 0.5
+	}
+	return l.prob(l.apply(Features(f)))
+}
+
+// Name implements the classifier naming convention.
+func (l *Logistic) Name() string { return "Logistic (14 features)" }
+
+func bce(p, y float64) float64 {
+	const eps = 1e-12
+	return -(y*math.Log(p+eps) + (1-y)*math.Log(1-p+eps))
+}

@@ -1,0 +1,271 @@
+// Package circuit builds combinational logic as CNF via the Tseitin
+// transformation, with structural hashing and constant folding. It is the
+// substrate for the EDA-flavored instance generators (equivalence-checking
+// miters, bounded model checking) and a reusable front end for encoding
+// verification problems against the solver.
+//
+// Wires are cnf literals, so inversion is free (negate the literal). The
+// builder exposes gate primitives (And, Or, Xor, Not, Mux), word-level
+// helpers (adders, equality, constants), and assertion entry points.
+package circuit
+
+import (
+	"fmt"
+
+	"neuroselect/internal/cnf"
+)
+
+// Wire is a signal in the circuit: a CNF literal.
+type Wire = cnf.Lit
+
+// Builder accumulates Tseitin clauses for a circuit.
+type Builder struct {
+	f     *cnf.Formula
+	zero  Wire // lazily created constant-false wire
+	cache map[[3]int64]Wire
+}
+
+// New returns an empty builder.
+func New() *Builder {
+	return &Builder{f: cnf.New(0), cache: map[[3]int64]Wire{}}
+}
+
+// Formula returns the accumulated CNF. The builder may continue to be used;
+// the formula is shared, not copied.
+func (b *Builder) Formula() *cnf.Formula { return b.f }
+
+// NumVars returns the number of allocated variables.
+func (b *Builder) NumVars() int { return b.f.NumVars }
+
+// Input allocates a fresh primary-input wire.
+func (b *Builder) Input() Wire {
+	b.f.NumVars++
+	return Wire(b.f.NumVars)
+}
+
+// Inputs allocates n fresh input wires.
+func (b *Builder) Inputs(n int) []Wire {
+	ws := make([]Wire, n)
+	for i := range ws {
+		ws[i] = b.Input()
+	}
+	return ws
+}
+
+// False returns the constant-false wire.
+func (b *Builder) False() Wire {
+	if b.zero == 0 {
+		b.zero = b.Input()
+		b.f.MustAddClause(-b.zero)
+	}
+	return b.zero
+}
+
+// True returns the constant-true wire.
+func (b *Builder) True() Wire { return -b.False() }
+
+// isConst reports whether w is a known constant and its value.
+func (b *Builder) isConst(w Wire) (bool, bool) {
+	if b.zero == 0 {
+		return false, false
+	}
+	switch w {
+	case b.zero:
+		return true, false
+	case -b.zero:
+		return true, true
+	}
+	return false, false
+}
+
+// Not returns the inversion of w (free under the literal encoding).
+func (b *Builder) Not(w Wire) Wire { return -w }
+
+// And returns a wire equal to x ∧ y, with constant folding and structural
+// hashing.
+func (b *Builder) And(x, y Wire) Wire {
+	if k, v := b.isConst(x); k {
+		if !v {
+			return b.False()
+		}
+		return y
+	}
+	if k, v := b.isConst(y); k {
+		if !v {
+			return b.False()
+		}
+		return x
+	}
+	if x == y {
+		return x
+	}
+	if x == -y {
+		return b.False()
+	}
+	if x > y {
+		x, y = y, x
+	}
+	key := [3]int64{'A', int64(x), int64(y)}
+	if o, ok := b.cache[key]; ok {
+		return o
+	}
+	o := b.Input()
+	b.f.MustAddClause(-o, x)
+	b.f.MustAddClause(-o, y)
+	b.f.MustAddClause(o, -x, -y)
+	b.cache[key] = o
+	return o
+}
+
+// Or returns x ∨ y.
+func (b *Builder) Or(x, y Wire) Wire { return -b.And(-x, -y) }
+
+// Xor returns x ⊕ y.
+func (b *Builder) Xor(x, y Wire) Wire {
+	if k, v := b.isConst(x); k {
+		if v {
+			return -y
+		}
+		return y
+	}
+	if k, v := b.isConst(y); k {
+		if v {
+			return -x
+		}
+		return x
+	}
+	if x == y {
+		return b.False()
+	}
+	if x == -y {
+		return b.True()
+	}
+	neg := false
+	if x < 0 {
+		x, neg = -x, !neg
+	}
+	if y < 0 {
+		y, neg = -y, !neg
+	}
+	if x > y {
+		x, y = y, x
+	}
+	key := [3]int64{'X', int64(x), int64(y)}
+	o, ok := b.cache[key]
+	if !ok {
+		o = b.Input()
+		b.f.MustAddClause(-o, x, y)
+		b.f.MustAddClause(-o, -x, -y)
+		b.f.MustAddClause(o, -x, y)
+		b.f.MustAddClause(o, x, -y)
+		b.cache[key] = o
+	}
+	if neg {
+		return -o
+	}
+	return o
+}
+
+// Xnor returns ¬(x ⊕ y).
+func (b *Builder) Xnor(x, y Wire) Wire { return -b.Xor(x, y) }
+
+// Mux returns (sel ? t : e).
+func (b *Builder) Mux(sel, t, e Wire) Wire {
+	return b.Or(b.And(sel, t), b.And(-sel, e))
+}
+
+// AndN folds And over the wires (true for an empty list).
+func (b *Builder) AndN(ws ...Wire) Wire {
+	out := b.True()
+	for _, w := range ws {
+		out = b.And(out, w)
+	}
+	return out
+}
+
+// OrN folds Or over the wires (false for an empty list).
+func (b *Builder) OrN(ws ...Wire) Wire {
+	out := b.False()
+	for _, w := range ws {
+		out = b.Or(out, w)
+	}
+	return out
+}
+
+// Assert constrains w to be true in every model.
+func (b *Builder) Assert(w Wire) { b.f.MustAddClause(w) }
+
+// Word is a little-endian vector of wires (bit 0 first).
+type Word []Wire
+
+// Const returns a word of the given width holding value.
+func (b *Builder) Const(value uint64, width int) Word {
+	w := make(Word, width)
+	for i := 0; i < width; i++ {
+		if value&(1<<uint(i)) != 0 {
+			w[i] = b.True()
+		} else {
+			w[i] = b.False()
+		}
+	}
+	return w
+}
+
+// InputWord allocates a word of fresh inputs.
+func (b *Builder) InputWord(width int) Word {
+	return Word(b.Inputs(width))
+}
+
+// FullAdder returns (sum, carry) of x + y + cin.
+func (b *Builder) FullAdder(x, y, cin Wire) (sum, cout Wire) {
+	s1 := b.Xor(x, y)
+	sum = b.Xor(s1, cin)
+	c1 := b.And(x, y)
+	c2 := b.And(s1, cin)
+	cout = b.Or(c1, c2)
+	return sum, cout
+}
+
+// Add returns x + y over equal-width words, discarding the final carry.
+func (b *Builder) Add(x, y Word) Word {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("circuit: add width mismatch %d vs %d", len(x), len(y)))
+	}
+	out := make(Word, len(x))
+	carry := b.False()
+	for i := range x {
+		out[i], carry = b.FullAdder(x[i], y[i], carry)
+	}
+	return out
+}
+
+// Equal returns a wire that is true iff the words are bitwise equal.
+func (b *Builder) Equal(x, y Word) Wire {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("circuit: equal width mismatch %d vs %d", len(x), len(y)))
+	}
+	out := b.True()
+	for i := range x {
+		out = b.And(out, b.Xnor(x[i], y[i]))
+	}
+	return out
+}
+
+// AssertEqualConst constrains the word to the constant value.
+func (b *Builder) AssertEqualConst(x Word, value uint64) {
+	for i, w := range x {
+		if value&(1<<uint(i)) != 0 {
+			b.Assert(w)
+		} else {
+			b.Assert(-w)
+		}
+	}
+}
+
+// ClearCache drops the structural-hashing table, forcing subsequent gates
+// to instantiate fresh logic — used when duplicating a circuit so the copy
+// shares nothing with the original (as an equivalence-checking miter
+// requires).
+func (b *Builder) ClearCache() {
+	b.cache = map[[3]int64]Wire{}
+}

@@ -1,0 +1,256 @@
+package cnf
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLitBasics(t *testing.T) {
+	cases := []struct {
+		l        Lit
+		variable int
+		positive bool
+	}{
+		{1, 1, true},
+		{-1, 1, false},
+		{42, 42, true},
+		{-42, 42, false},
+	}
+	for _, c := range cases {
+		if c.l.Var() != c.variable {
+			t.Errorf("Var(%d) = %d, want %d", c.l, c.l.Var(), c.variable)
+		}
+		if c.l.Positive() != c.positive {
+			t.Errorf("Positive(%d) = %v, want %v", c.l, c.l.Positive(), c.positive)
+		}
+		if c.l.Neg().Neg() != c.l {
+			t.Errorf("double negation of %d", c.l)
+		}
+		if c.l.Neg().Var() != c.variable {
+			t.Errorf("negation changes variable of %d", c.l)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	c := Clause{3, -1, 3, 2, -1}
+	n, taut := c.Normalize()
+	if taut {
+		t.Fatal("not a tautology")
+	}
+	if !reflect.DeepEqual(n, Clause{-1, 2, 3}) {
+		t.Fatalf("normalized = %v", n)
+	}
+	c2 := Clause{1, 2, -1}
+	_, taut2 := c2.Normalize()
+	if !taut2 {
+		t.Fatal("expected tautology")
+	}
+}
+
+func TestNormalizeProperty(t *testing.T) {
+	// Normalization never changes the set of satisfying assignments.
+	f := func(raw []int8, assignBits uint8) bool {
+		var c Clause
+		for _, r := range raw {
+			v := int(r)%4 + 1
+			if v <= 0 {
+				v = 1 - v
+			}
+			l := Lit(v)
+			if r < 0 {
+				l = -l
+			}
+			c = append(c, l)
+		}
+		if len(c) == 0 {
+			return true
+		}
+		a := NewAssignment(8)
+		for v := 1; v <= 8; v++ {
+			a[v] = assignBits&(1<<uint(v-1)) != 0
+		}
+		before := a.SatisfiesClause(c)
+		n, taut := c.Clone().Normalize()
+		after := taut || a.SatisfiesClause(n)
+		return before == after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddClauseGrowsVars(t *testing.T) {
+	f := New(2)
+	if err := f.AddClause(5, -3); err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 5 {
+		t.Fatalf("NumVars = %d, want 5", f.NumVars)
+	}
+	if err := f.AddClause(0); err == nil {
+		t.Fatal("zero literal must be rejected")
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplify(t *testing.T) {
+	f := New(3)
+	f.MustAddClause(1, -1)
+	f.MustAddClause(2, 2, 3)
+	f.MustAddClause(-3)
+	removed := f.Simplify()
+	if removed != 1 {
+		t.Fatalf("removed = %d, want 1", removed)
+	}
+	if len(f.Clauses) != 2 {
+		t.Fatalf("clauses = %d, want 2", len(f.Clauses))
+	}
+	if len(f.Clauses[0]) != 2 {
+		t.Fatalf("duplicate literal not removed: %v", f.Clauses[0])
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		f := New(1 + rng.Intn(20))
+		nc := rng.Intn(30)
+		for i := 0; i < nc; i++ {
+			k := 1 + rng.Intn(5)
+			lits := make([]Lit, k)
+			for j := range lits {
+				l := Lit(1 + rng.Intn(f.NumVars))
+				if rng.Intn(2) == 0 {
+					l = -l
+				}
+				lits[j] = l
+			}
+			f.MustAddClause(lits...)
+		}
+		text := DIMACSString(f)
+		g, err := ParseDIMACSString(text)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v", trial, err)
+		}
+		if g.NumVars != f.NumVars || len(g.Clauses) != len(f.Clauses) {
+			t.Fatalf("trial %d: shape mismatch", trial)
+		}
+		if !reflect.DeepEqual(f.Clauses, g.Clauses) {
+			t.Fatalf("trial %d: clauses differ", trial)
+		}
+	}
+}
+
+func TestParseDIMACSForms(t *testing.T) {
+	// Multi-line clauses, comments, missing trailing zero.
+	f, err := ParseDIMACSString("c hello\np cnf 3 2\n1 2\n3 0\n-1 -2 -3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 2 || f.NumVars != 3 {
+		t.Fatalf("got %d clauses %d vars", len(f.Clauses), f.NumVars)
+	}
+	if !reflect.DeepEqual(f.Clauses[0], Clause{1, 2, 3}) {
+		t.Fatalf("clause 0 = %v", f.Clauses[0])
+	}
+	// Header declaring more vars than used.
+	f2, err := ParseDIMACSString("p cnf 10 1\n1 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.NumVars != 10 {
+		t.Fatalf("declared vars not honored: %d", f2.NumVars)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for _, bad := range []string{
+		"p cnf x 3\n",
+		"p cnf 3\n",
+		"p cnf 3 1\n1 x 0\n",
+		"p cnf 3 1\n1 0\n2 0\n", // more clauses than declared
+	} {
+		if _, err := ParseDIMACSString(bad); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	f, err := ParseDIMACSString("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 0 || len(f.Clauses) != 0 {
+		t.Fatalf("empty parse: %+v", f)
+	}
+}
+
+func TestAssignmentEval(t *testing.T) {
+	f := New(3)
+	f.MustAddClause(1, 2)
+	f.MustAddClause(-1, 3)
+	a := NewAssignment(3)
+	a[1], a[2], a[3] = true, false, true
+	if !a.Satisfies(f) {
+		t.Fatal("assignment should satisfy")
+	}
+	a[3] = false
+	if a.Satisfies(f) {
+		t.Fatal("assignment should not satisfy")
+	}
+	if a.Value(-1) {
+		t.Fatal("¬x1 should be false when x1 true")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	f := New(4)
+	f.MustAddClause(1, 2, 3)
+	f.MustAddClause(-1, -2)
+	f.MustAddClause(4)
+	st := ComputeStats(f)
+	if st.NumVars != 4 || st.NumClauses != 3 || st.NumLiterals != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MinClauseLen != 1 || st.MaxClauseLen != 3 {
+		t.Fatalf("lens = %d..%d", st.MinClauseLen, st.MaxClauseLen)
+	}
+	if st.GraphNodes != 7 {
+		t.Fatalf("graph nodes = %d", st.GraphNodes)
+	}
+	if st.VarOccurrences[1] != 2 || st.VarOccurrences[4] != 1 {
+		t.Fatalf("occurrences = %v", st.VarOccurrences)
+	}
+	if st.ClauseLenHist[1] != 1 || st.ClauseLenHist[2] != 1 || st.ClauseLenHist[3] != 1 {
+		t.Fatalf("hist = %v", st.ClauseLenHist)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := New(2)
+	f.MustAddClause(1, 2)
+	g := f.Clone()
+	g.Clauses[0][0] = -1
+	if f.Clauses[0][0] != 1 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestWriteDIMACSComments(t *testing.T) {
+	f := New(1)
+	f.MustAddClause(1)
+	var sb strings.Builder
+	if err := WriteDIMACS(&sb, f, "generated by test"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "c generated by test\n") {
+		t.Fatalf("comment missing: %q", sb.String())
+	}
+}

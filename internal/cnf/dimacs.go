@@ -1,0 +1,118 @@
+package cnf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format. It tolerates comment
+// lines anywhere, a missing or inconsistent header (the declared counts are
+// checked loosely: a formula may use fewer variables or clauses than
+// declared, never more clauses), and clauses spanning multiple lines.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+
+	f := New(0)
+	declaredVars, declaredClauses := -1, -1
+	var cur Clause
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("cnf: line %d: malformed problem line %q", lineNo, line)
+			}
+			var err error
+			declaredVars, err = strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad variable count: %v", lineNo, err)
+			}
+			declaredClauses, err = strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad clause count: %v", lineNo, err)
+			}
+			if declaredVars < 0 || declaredClauses < 0 {
+				return nil, fmt.Errorf("cnf: line %d: negative counts in problem line", lineNo)
+			}
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("cnf: line %d: bad literal %q: %v", lineNo, tok, err)
+			}
+			if n == 0 {
+				f.Clauses = append(f.Clauses, cur)
+				if mv := cur.MaxVar(); mv > f.NumVars {
+					f.NumVars = mv
+				}
+				cur = nil
+				continue
+			}
+			cur = append(cur, Lit(n))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cnf: read: %w", err)
+	}
+	if len(cur) > 0 {
+		// Final clause without terminating 0; accept it.
+		f.Clauses = append(f.Clauses, cur)
+		if mv := cur.MaxVar(); mv > f.NumVars {
+			f.NumVars = mv
+		}
+	}
+	if declaredVars > f.NumVars {
+		f.NumVars = declaredVars
+	}
+	if declaredClauses >= 0 && len(f.Clauses) > declaredClauses {
+		return nil, fmt.Errorf("cnf: %d clauses parsed but header declares %d", len(f.Clauses), declaredClauses)
+	}
+	return f, nil
+}
+
+// ParseDIMACSString parses a DIMACS formula held in a string.
+func ParseDIMACSString(s string) (*Formula, error) {
+	return ParseDIMACS(strings.NewReader(s))
+}
+
+// WriteDIMACS writes the formula in DIMACS format, preceded by the supplied
+// comment lines (each written as a "c " line).
+func WriteDIMACS(w io.Writer, f *Formula, comments ...string) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range comments {
+		if _, err := fmt.Fprintf(bw, "c %s\n", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, cl := range f.Clauses {
+		for _, l := range cl {
+			if _, err := fmt.Fprintf(bw, "%d ", int32(l)); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("0\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DIMACSString renders the formula as a DIMACS string.
+func DIMACSString(f *Formula) string {
+	var sb strings.Builder
+	_ = WriteDIMACS(&sb, f)
+	return sb.String()
+}

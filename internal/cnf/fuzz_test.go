@@ -1,0 +1,81 @@
+package cnf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS checks that the parser never panics and that accepted
+// inputs round-trip through WriteDIMACS.
+func FuzzParseDIMACS(f *testing.F) {
+	f.Add("p cnf 3 2\n1 -2 0\n2 3 0\n")
+	f.Add("c comment\np cnf 1 1\n1 0")
+	f.Add("1 2 0\n-1 0\n")
+	f.Add("p cnf 0 0\n")
+	f.Add("p cnf 5 1\n1 2 3 4 5 0\n%\n0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseDIMACSString(input)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parsed formula invalid: %v", err)
+		}
+		text := DIMACSString(g)
+		h, err := ParseDIMACSString(text)
+		if err != nil {
+			t.Fatalf("re-parse of own output failed: %v", err)
+		}
+		if h.NumVars != g.NumVars || len(h.Clauses) != len(g.Clauses) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				g.NumVars, len(g.Clauses), h.NumVars, len(h.Clauses))
+		}
+	})
+}
+
+// FuzzNormalize checks Normalize against a straightforward specification.
+func FuzzNormalize(f *testing.F) {
+	f.Add([]byte{1, 2, 255})
+	f.Add([]byte{5, 5, 251})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var c Clause
+		for _, b := range raw {
+			l := Lit(int8(b))
+			if l == 0 {
+				continue
+			}
+			c = append(c, l)
+		}
+		if len(c) == 0 {
+			return
+		}
+		orig := c.Clone()
+		n, taut := c.Normalize()
+		// Spec: tautology iff both polarities present in the original.
+		set := map[Lit]bool{}
+		wantTaut := false
+		for _, l := range orig {
+			if set[-l] {
+				wantTaut = true
+			}
+			set[l] = true
+		}
+		if taut != wantTaut {
+			t.Fatalf("tautology flag %v, want %v for %v", taut, wantTaut, orig)
+		}
+		// No duplicates, all literals from the original.
+		seen := map[Lit]bool{}
+		for _, l := range n {
+			if seen[l] {
+				t.Fatalf("duplicate %v in normalized %v", l, n)
+			}
+			seen[l] = true
+			if !set[l] {
+				t.Fatalf("literal %v invented by Normalize", l)
+			}
+		}
+		if !strings.Contains(DIMACSString(&Formula{NumVars: n.MaxVar(), Clauses: []Clause{n}}), "0") {
+			t.Fatal("unterminated clause in output")
+		}
+	})
+}

@@ -1,0 +1,65 @@
+package cnf
+
+import "fmt"
+
+// Stats summarizes structural properties of a formula; used for dataset
+// reporting (Table 1) and instance filtering.
+type Stats struct {
+	NumVars      int
+	NumClauses   int
+	NumLiterals  int
+	MinClauseLen int
+	MaxClauseLen int
+	MeanClause   float64
+	// ClauseLenHist[k] counts clauses of length k for k < len(hist)-1; the
+	// final bucket aggregates longer clauses.
+	ClauseLenHist []int
+	// VarOccurrences[v] counts literal occurrences of variable v (index 0
+	// unused).
+	VarOccurrences []int
+	// GraphNodes is |V1|+|V2| of the bipartite variable-clause graph, the
+	// quantity the paper bounds at 400,000 when filtering instances.
+	GraphNodes int
+}
+
+// ComputeStats derives statistics for f.
+func ComputeStats(f *Formula) Stats {
+	const histBuckets = 12
+	st := Stats{
+		NumVars:        f.NumVars,
+		NumClauses:     len(f.Clauses),
+		ClauseLenHist:  make([]int, histBuckets),
+		VarOccurrences: make([]int, f.NumVars+1),
+		GraphNodes:     f.NumVars + len(f.Clauses),
+	}
+	if len(f.Clauses) == 0 {
+		return st
+	}
+	st.MinClauseLen = len(f.Clauses[0])
+	for _, c := range f.Clauses {
+		n := len(c)
+		st.NumLiterals += n
+		if n < st.MinClauseLen {
+			st.MinClauseLen = n
+		}
+		if n > st.MaxClauseLen {
+			st.MaxClauseLen = n
+		}
+		if n >= histBuckets-1 {
+			st.ClauseLenHist[histBuckets-1]++
+		} else {
+			st.ClauseLenHist[n]++
+		}
+		for _, l := range c {
+			st.VarOccurrences[l.Var()]++
+		}
+	}
+	st.MeanClause = float64(st.NumLiterals) / float64(st.NumClauses)
+	return st
+}
+
+// String renders a short human-readable summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("vars=%d clauses=%d lits=%d meanLen=%.2f nodes=%d",
+		s.NumVars, s.NumClauses, s.NumLiterals, s.MeanClause, s.GraphNodes)
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"neuroselect/internal/gen"
+	"neuroselect/internal/satgraph"
+)
+
+func TestModelFileRoundTrip(t *testing.T) {
+	cfg := Config{Hidden: 8, HGTLayers: 2, MPLayers: 1, Attention: true, Seed: 9}
+	m := NewModel(cfg)
+	g := satgraph.BuildVCG(gen.RandomKSAT(15, 60, 3, 1).F)
+	want := m.PredictGraph(g)
+
+	var buf bytes.Buffer
+	if err := m.SaveFile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModelFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg != cfg {
+		t.Fatalf("config drift: %+v vs %+v", loaded.Cfg, cfg)
+	}
+	if got := loaded.PredictGraph(g); got != want {
+		t.Fatalf("prediction drift: %v vs %v", got, want)
+	}
+}
+
+func TestModelFileNoAttentionRoundTrip(t *testing.T) {
+	cfg := Config{Hidden: 8, HGTLayers: 1, MPLayers: 1, Attention: false, Seed: 2}
+	m := NewModel(cfg)
+	var buf bytes.Buffer
+	if err := m.SaveFile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModelFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg.Attention {
+		t.Fatal("attention flag lost")
+	}
+}
+
+func TestLoadModelFileErrors(t *testing.T) {
+	if _, err := LoadModelFile(strings.NewReader("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadModelFile(strings.NewReader(`{"format":"wrong","config":{},"payload":[]}`)); err == nil {
+		t.Fatal("wrong format accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package deletion
+
+import "math"
+
+// floatBits returns the IEEE-754 bit pattern of a non-negative float64,
+// which orders identically to the value itself. NaN maps to zero so that
+// corrupt activities sort as least valuable.
+func floatBits(f float64) uint64 {
+	if math.IsNaN(f) {
+		return 0
+	}
+	return math.Float64bits(f)
+}
+
+// Frequency computes the Eq. 2 criterion for a clause given the per-variable
+// propagation counts freq (indexed by 1-based variable), the maximum count
+// fmax, and the threshold factor alpha (the paper sets alpha = 4/5):
+//
+//	c.frequency = Σ_{v∈c} [ f_v > α·f_max ]
+//
+// vars lists the 1-based variables of the clause.
+func Frequency(vars []int, freq []uint64, fmax uint64, alpha float64) int {
+	if fmax == 0 {
+		return 0
+	}
+	threshold := alpha * float64(fmax)
+	n := 0
+	for _, v := range vars {
+		if v <= 0 || v >= len(freq) {
+			continue
+		}
+		if float64(freq[v]) > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// DefaultAlpha is the paper's empirically chosen threshold factor in Eq. 2.
+const DefaultAlpha = 4.0 / 5.0

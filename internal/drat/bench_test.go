@@ -1,0 +1,48 @@
+package drat
+
+import (
+	"strings"
+	"testing"
+
+	"neuroselect/internal/gen"
+	"neuroselect/internal/solver"
+)
+
+// BenchmarkEmitAndCheck measures producing and verifying a complete DRAT
+// proof for php-5.
+func BenchmarkEmitAndCheck(b *testing.B) {
+	inst := gen.Pigeonhole(5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		w := NewWriter(&sb)
+		s, err := solver.New(inst.F, solver.Options{Proof: w})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Solve() != solver.Unsat {
+			b.Fatal("php-5 must be UNSAT")
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		steps, err := Parse(strings.NewReader(sb.String()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := Check(inst.F, steps); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRUPCheck isolates a single reverse-unit-propagation query on a
+// medium clause set.
+func BenchmarkRUPCheck(b *testing.B) {
+	inst := gen.RandomKSAT(100, 426, 3, 1)
+	c := NewChecker(inst.F)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.rup(nil)
+	}
+}

@@ -1,0 +1,262 @@
+package drat
+
+import (
+	"fmt"
+	"strings"
+
+	"neuroselect/internal/cnf"
+)
+
+// Checker validates DRUP-style proofs: every added clause must follow from
+// the active clause set by reverse unit propagation (RUP), the discipline
+// under which CDCL learned clauses (including minimized ones) are always
+// derivable. The proof is accepted when the empty clause is derived, or
+// when unit propagation on the final active set conflicts.
+type Checker struct {
+	numVars int
+	clauses []checkerClause
+	// occ[l] lists clause ids containing literal l (internal index).
+	occ [][]int
+	// byKey locates active clauses by normalized key for deletions.
+	byKey map[string][]int
+}
+
+type checkerClause struct {
+	lits   []cnf.Lit
+	active bool
+}
+
+// litIndex maps a DIMACS literal to an occurrence-list slot.
+func litIndex(l cnf.Lit) int {
+	i := 2 * (l.Var() - 1)
+	if l < 0 {
+		i++
+	}
+	return i
+}
+
+// key returns a canonical string for a clause (sorted, deduplicated).
+func key(lits []cnf.Lit) string {
+	c := append(cnf.Clause(nil), lits...)
+	c, _ = c.Normalize()
+	var sb strings.Builder
+	for _, l := range c {
+		fmt.Fprintf(&sb, "%d ", l)
+	}
+	return sb.String()
+}
+
+// NewChecker initializes the checker with the original formula.
+func NewChecker(f *cnf.Formula) *Checker {
+	c := &Checker{
+		numVars: f.NumVars,
+		occ:     make([][]int, 2*f.NumVars),
+		byKey:   map[string][]int{},
+	}
+	for _, cl := range f.Clauses {
+		c.addClause(cl)
+	}
+	return c
+}
+
+func (c *Checker) growTo(v int) {
+	if v <= c.numVars {
+		return
+	}
+	c.numVars = v
+	for len(c.occ) < 2*v {
+		c.occ = append(c.occ, nil)
+	}
+}
+
+func (c *Checker) addClause(lits []cnf.Lit) int {
+	id := len(c.clauses)
+	stored := append([]cnf.Lit(nil), lits...)
+	c.clauses = append(c.clauses, checkerClause{lits: stored, active: true})
+	for _, l := range stored {
+		c.growTo(l.Var())
+		c.occ[litIndex(l)] = append(c.occ[litIndex(l)], id)
+	}
+	k := key(stored)
+	c.byKey[k] = append(c.byKey[k], id)
+	return id
+}
+
+// deleteClause deactivates one active clause matching the literals; a
+// deletion with no live match is tolerated (as drat-trim does) but
+// reported via the returned flag.
+func (c *Checker) deleteClause(lits []cnf.Lit) bool {
+	k := key(lits)
+	ids := c.byKey[k]
+	for i, id := range ids {
+		if c.clauses[id].active {
+			c.clauses[id].active = false
+			c.byKey[k] = append(ids[:i], ids[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// rup reports whether assuming the negation of lits and unit-propagating
+// over the active clause set yields a conflict.
+func (c *Checker) rup(lits []cnf.Lit) bool {
+	assign := make([]int8, c.numVars+1) // 0 unset, +1 true, −1 false
+	var queue []cnf.Lit
+	enqueue := func(l cnf.Lit) bool { // returns false on conflict
+		v := l.Var()
+		want := int8(1)
+		if l < 0 {
+			want = -1
+		}
+		switch assign[v] {
+		case 0:
+			assign[v] = want
+			queue = append(queue, l)
+			return true
+		case want:
+			return true
+		default:
+			return false
+		}
+	}
+	// Assume the negated clause.
+	for _, l := range lits {
+		if !enqueue(-l) {
+			return true // ¬C is itself contradictory ⇒ C is a tautology-like RUP
+		}
+	}
+	value := func(l cnf.Lit) int8 {
+		a := assign[l.Var()]
+		if l < 0 {
+			return -a
+		}
+		return a
+	}
+	// Initial pass: clauses that are already unit (or falsified) under the
+	// assumed assignment — in particular pre-existing unit clauses, which
+	// the falsification-driven loop below would never visit.
+	for id := range c.clauses {
+		cl := &c.clauses[id]
+		if !cl.active {
+			continue
+		}
+		var unit cnf.Lit
+		unset := 0
+		satisfied := false
+		for _, l := range cl.lits {
+			switch value(l) {
+			case 1:
+				satisfied = true
+			case 0:
+				unset++
+				unit = l
+			}
+			if satisfied || unset > 1 {
+				break
+			}
+		}
+		if satisfied || unset > 1 {
+			continue
+		}
+		if unset == 0 {
+			return true
+		}
+		if !enqueue(unit) {
+			return true
+		}
+	}
+	// Saturate unit propagation. Clauses are revisited when one of their
+	// literals is falsified.
+	for qi := 0; qi < len(queue); qi++ {
+		p := queue[qi]
+		// p just became true, so clauses containing ¬p lost a literal.
+		for _, id := range c.occ[litIndex(-p)] {
+			cl := &c.clauses[id]
+			if !cl.active {
+				continue
+			}
+			var unit cnf.Lit
+			unset := 0
+			satisfied := false
+			for _, l := range cl.lits {
+				switch value(l) {
+				case 1:
+					satisfied = true
+				case 0:
+					unset++
+					unit = l
+				}
+				if satisfied || unset > 1 {
+					break
+				}
+			}
+			if satisfied || unset > 1 {
+				continue
+			}
+			if unset == 0 {
+				return true // conflict: clause fully falsified
+			}
+			if !enqueue(unit) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Check replays the proof against the formula. It returns nil when the
+// proof establishes unsatisfiability, and a descriptive error otherwise.
+func Check(f *cnf.Formula, steps []Step) error {
+	c := NewChecker(f)
+	for i, st := range steps {
+		if st.Delete {
+			c.deleteClause(st.Lits)
+			continue
+		}
+		if !c.rup(st.Lits) {
+			return fmt.Errorf("drat: step %d: clause %v is not RUP", i, st.Lits)
+		}
+		if len(st.Lits) == 0 {
+			return nil // empty clause derived
+		}
+		c.addClause(st.Lits)
+	}
+	// No explicit empty clause: accept iff UP on the final set conflicts.
+	if c.rup(nil) {
+		return nil
+	}
+	return fmt.Errorf("drat: proof ends without deriving a conflict")
+}
+
+// CheckProof parses and checks a textual proof in one call.
+func CheckProof(f *cnf.Formula, proof string) error {
+	steps, err := Parse(strings.NewReader(proof))
+	if err != nil {
+		return err
+	}
+	return Check(f, steps)
+}
+
+// Stats summarizes a parsed proof for reporting.
+type Stats struct {
+	Additions int
+	Deletions int
+	MaxLen    int
+}
+
+// Summarize computes proof statistics.
+func Summarize(steps []Step) Stats {
+	var s Stats
+	for _, st := range steps {
+		if st.Delete {
+			s.Deletions++
+		} else {
+			s.Additions++
+		}
+		if len(st.Lits) > s.MaxLen {
+			s.MaxLen = len(st.Lits)
+		}
+	}
+	return s
+}

@@ -1,0 +1,114 @@
+// Package drat emits and checks DRAT unsatisfiability proofs (Wetzler et
+// al., "DRAT-trim"). The solver logs every learned clause as an addition
+// and every reduced clause as a deletion; the checker replays the proof
+// against the original formula, verifying each added clause by reverse
+// unit propagation (RUP) and accepting the proof when the empty clause is
+// derived.
+//
+// The checker is deliberately independent of the solver — it maintains its
+// own clause set and unit-propagation engine — so it serves as an external
+// certificate validator for the solver's UNSAT answers in tests.
+package drat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"neuroselect/internal/cnf"
+)
+
+// Writer streams proof lines in the textual DRAT format: an added clause is
+// its literals terminated by 0; a deletion is prefixed with "d".
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w as a DRAT proof sink.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// AddClause logs a learned clause.
+func (p *Writer) AddClause(lits []cnf.Lit) {
+	if p.err != nil {
+		return
+	}
+	p.writeClause("", lits)
+}
+
+// DeleteClause logs a clause deletion.
+func (p *Writer) DeleteClause(lits []cnf.Lit) {
+	if p.err != nil {
+		return
+	}
+	p.writeClause("d ", lits)
+}
+
+func (p *Writer) writeClause(prefix string, lits []cnf.Lit) {
+	var sb strings.Builder
+	sb.WriteString(prefix)
+	for _, l := range lits {
+		sb.WriteString(strconv.Itoa(int(l)))
+		sb.WriteByte(' ')
+	}
+	sb.WriteString("0\n")
+	_, p.err = p.w.WriteString(sb.String())
+}
+
+// Flush completes the proof stream and reports any write error.
+func (p *Writer) Flush() error {
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}
+
+// Step is one parsed proof line.
+type Step struct {
+	Delete bool
+	Lits   []cnf.Lit
+}
+
+// Parse reads a textual DRAT proof.
+func Parse(r io.Reader) ([]Step, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	var steps []Step
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		st := Step{}
+		if strings.HasPrefix(line, "d ") || line == "d" {
+			st.Delete = true
+			line = strings.TrimSpace(line[1:])
+		}
+		closed := false
+		for _, tok := range strings.Fields(line) {
+			n, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("drat: line %d: bad literal %q", lineNo, tok)
+			}
+			if n == 0 {
+				closed = true
+				break
+			}
+			st.Lits = append(st.Lits, cnf.Lit(n))
+		}
+		if !closed {
+			return nil, fmt.Errorf("drat: line %d: missing terminating 0", lineNo)
+		}
+		steps = append(steps, st)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("drat: read: %w", err)
+	}
+	return steps, nil
+}

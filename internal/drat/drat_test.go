@@ -1,0 +1,205 @@
+package drat
+
+import (
+	"strings"
+	"testing"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/deletion"
+	"neuroselect/internal/gen"
+	"neuroselect/internal/solver"
+)
+
+func TestWriterFormat(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.AddClause([]cnf.Lit{1, -2})
+	w.DeleteClause([]cnf.Lit{3})
+	w.AddClause(nil)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	want := "1 -2 0\nd 3 0\n0\n"
+	if sb.String() != want {
+		t.Fatalf("proof = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	steps, err := Parse(strings.NewReader("c comment\n1 -2 0\nd 3 0\n\n0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 3 {
+		t.Fatalf("steps = %d", len(steps))
+	}
+	if steps[0].Delete || len(steps[0].Lits) != 2 {
+		t.Fatalf("step 0: %+v", steps[0])
+	}
+	if !steps[1].Delete || steps[1].Lits[0] != 3 {
+		t.Fatalf("step 1: %+v", steps[1])
+	}
+	if steps[2].Delete || len(steps[2].Lits) != 0 {
+		t.Fatalf("step 2: %+v", steps[2])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"1 2\n", "1 x 0\n"} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("expected error for %q", bad)
+		}
+	}
+}
+
+func TestRUPManual(t *testing.T) {
+	// F = (x1∨x2) ∧ (¬x1∨x2) — x2 is RUP; x1 is not.
+	f := cnf.New(2)
+	f.MustAddClause(1, 2)
+	f.MustAddClause(-1, 2)
+	c := NewChecker(f)
+	if !c.rup([]cnf.Lit{2}) {
+		t.Fatal("x2 should be RUP")
+	}
+	if c.rup([]cnf.Lit{1}) {
+		t.Fatal("x1 should not be RUP")
+	}
+}
+
+func TestCheckManualProof(t *testing.T) {
+	// F = (x1∨x2) ∧ (x1∨¬x2) ∧ (¬x1∨x2) ∧ (¬x1∨¬x2): classic UNSAT.
+	f := cnf.New(2)
+	f.MustAddClause(1, 2)
+	f.MustAddClause(1, -2)
+	f.MustAddClause(-1, 2)
+	f.MustAddClause(-1, -2)
+	// Proof: derive x1 (RUP), then empty clause.
+	if err := CheckProof(f, "1 0\n0\n"); err != nil {
+		t.Fatal(err)
+	}
+	// A bogus proof step must be rejected.
+	sat := cnf.New(2)
+	sat.MustAddClause(1, 2)
+	if err := CheckProof(sat, "1 0\n"); err == nil {
+		t.Fatal("non-RUP step accepted")
+	}
+}
+
+func TestCheckWithoutExplicitEmptyClause(t *testing.T) {
+	// Contradictory units conflict by propagation alone: the empty proof
+	// must be accepted.
+	f := cnf.New(1)
+	f.MustAddClause(1)
+	f.MustAddClause(-1)
+	if err := Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// But a satisfiable formula with an empty proof must be rejected.
+	g := cnf.New(1)
+	g.MustAddClause(1)
+	if err := Check(g, nil); err == nil {
+		t.Fatal("satisfiable formula certified")
+	}
+}
+
+func TestDeletionRemovesSupport(t *testing.T) {
+	// After deleting (¬x1∨x2), x2 is no longer RUP.
+	f := cnf.New(2)
+	f.MustAddClause(1, 2)
+	f.MustAddClause(-1, 2)
+	proof := "d -1 2 0\n2 0\n"
+	if err := CheckProof(f, proof); err == nil {
+		t.Fatal("deletion must remove propagation support")
+	}
+}
+
+// TestSolverProofsVerify is the flagship integration test: the solver's
+// DRAT stream for UNSAT instances must pass the independent checker, under
+// both deletion policies.
+func TestSolverProofsVerify(t *testing.T) {
+	instances := []gen.Instance{
+		gen.Pigeonhole(4),
+		gen.Pigeonhole(5),
+		gen.Tseitin(10, 3, false, 1),
+		gen.ParityChain(14, 9, 4, false, 2),
+		gen.RandomKSAT(40, 180, 3, 3), // oversaturated: very likely UNSAT
+		gen.BMCCounter(5, 8, 20),
+		gen.Miter(5, 25, false, 4),
+	}
+	for _, pol := range []deletion.Policy{deletion.DefaultPolicy{}, deletion.FrequencyPolicy{}} {
+		for _, in := range instances {
+			var sb strings.Builder
+			w := NewWriter(&sb)
+			opts := solver.Options{Policy: pol, ReduceFirst: 30, ReduceInc: 20, Proof: w}
+			s, err := solver.New(in.F, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := s.Solve()
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if st != solver.Unsat {
+				continue // random instance may be SAT; skip
+			}
+			steps, err := Parse(strings.NewReader(sb.String()))
+			if err != nil {
+				t.Fatalf("%s/%s: parse: %v", in.Name, pol.Name(), err)
+			}
+			if err := Check(in.F, steps); err != nil {
+				t.Fatalf("%s/%s: proof rejected: %v", in.Name, pol.Name(), err)
+			}
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	steps := []Step{
+		{Lits: []cnf.Lit{1, 2, 3}},
+		{Delete: true, Lits: []cnf.Lit{1}},
+		{Lits: nil},
+	}
+	s := Summarize(steps)
+	if s.Additions != 2 || s.Deletions != 1 || s.MaxLen != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDeleteClauseMatching(t *testing.T) {
+	f := cnf.New(2)
+	f.MustAddClause(1, 2)
+	c := NewChecker(f)
+	// Literal order must not matter.
+	if !c.deleteClause([]cnf.Lit{2, 1}) {
+		t.Fatal("permuted deletion should match")
+	}
+	if c.deleteClause([]cnf.Lit{1, 2}) {
+		t.Fatal("second deletion has no live match")
+	}
+}
+
+// TestInterruptedProofIsRejected: a budget-truncated run's proof must NOT
+// certify unsatisfiability — the checker's final unit-propagation pass has
+// no conflict to find.
+func TestInterruptedProofIsRejected(t *testing.T) {
+	inst := gen.Pigeonhole(8)
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	s, err := solver.New(inst.F, solver.Options{MaxConflicts: 50, Proof: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != solver.Unknown {
+		t.Skip("budget unexpectedly sufficient")
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	steps, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(inst.F, steps); err == nil {
+		t.Fatal("truncated proof must be rejected")
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"neuroselect/internal/dataset"
+	"neuroselect/internal/deletion"
+	"neuroselect/internal/metrics"
+	"neuroselect/internal/solver"
+)
+
+// PolicyPoolResult is an extension experiment beyond the paper's
+// evaluation: the full deletion-policy pool (default, frequency, activity,
+// size) compared head-to-head over the corpus, quantifying how much policy
+// diversity a richer selector could exploit — the paper's closing
+// direction of "diversifying existing clause deletion policies".
+type PolicyPoolResult struct {
+	Policies  []string
+	Summaries []metrics.Summary
+	// Wins[i] counts instances where policy i was the strict minimum.
+	Wins []int
+	// OracleMedian is the per-instance best over the whole pool.
+	OracleMedian float64
+	Instances    int
+}
+
+// PolicyPool solves every corpus instance under all four policies.
+func (r *Runner) PolicyPool() (PolicyPoolResult, error) {
+	c, err := r.Corpus()
+	if err != nil {
+		return PolicyPoolResult{}, err
+	}
+	pool := []deletion.Policy{
+		deletion.DefaultPolicy{}, deletion.FrequencyPolicy{},
+		deletion.ActivityPolicy{}, deletion.SizePolicy{},
+	}
+	res := PolicyPoolResult{Wins: make([]int, len(pool))}
+	for _, p := range pool {
+		res.Policies = append(res.Policies, p.Name())
+	}
+	items := append(c.All(), c.Test.Items...)
+	costs := make([][]float64, len(pool))
+	solved := make([][]bool, len(pool))
+	var oracle []float64
+	var oracleSolved []bool
+	for _, it := range items {
+		best := -1.0
+		bestIdx := -1
+		anySolved := false
+		row := make([]float64, len(pool))
+		rowSolved := make([]bool, len(pool))
+		for i, p := range pool {
+			sres, err := solver.Solve(it.Inst.F, dataset.SolveOptions(p, r.Scale.ScatterBudget))
+			if err != nil {
+				return PolicyPoolResult{}, err
+			}
+			row[i] = float64(sres.Stats.Propagations)
+			rowSolved[i] = sres.Status != solver.Unknown
+			if rowSolved[i] {
+				anySolved = true
+				if best < 0 || row[i] < best {
+					best, bestIdx = row[i], i
+				}
+			}
+		}
+		if !anySolved {
+			continue
+		}
+		res.Instances++
+		strict := true
+		for i := range pool {
+			costs[i] = append(costs[i], row[i])
+			solved[i] = append(solved[i], rowSolved[i])
+			if i != bestIdx && rowSolved[i] && row[i] == best {
+				strict = false
+			}
+		}
+		if strict && bestIdx >= 0 {
+			res.Wins[bestIdx]++
+		}
+		oracle = append(oracle, best)
+		oracleSolved = append(oracleSolved, true)
+	}
+	for i := range pool {
+		res.Summaries = append(res.Summaries, metrics.Summarize(costs[i], solved[i]))
+	}
+	res.OracleMedian = metrics.Summarize(oracle, oracleSolved).Median
+	return res, nil
+}
+
+// Render prints the policy-pool comparison.
+func (p PolicyPoolResult) Render() string {
+	rows := make([][]string, 0, len(p.Policies))
+	for i, name := range p.Policies {
+		s := p.Summaries[i]
+		rows = append(rows, []string{
+			name,
+			fmt.Sprintf("%d", s.Solved),
+			fmt.Sprintf("%.0f", s.Median),
+			fmt.Sprintf("%.0f", s.Average),
+			fmt.Sprintf("%d", p.Wins[i]),
+		})
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Extension — deletion-policy pool over %d instances\n", p.Instances)
+	sb.WriteString(table([]string{"policy", "solved", "median props", "avg props", "strict wins"}, rows))
+	fmt.Fprintf(&sb, "  pool oracle median: %.0f propagations\n", p.OracleMedian)
+	return sb.String()
+}

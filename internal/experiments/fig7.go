@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"neuroselect/internal/dataset"
+	"neuroselect/internal/deletion"
+	"neuroselect/internal/metrics"
+	"neuroselect/internal/solver"
+)
+
+// Fig7Result reproduces Figure 7: (a) the Kissat vs. NeuroSelect-Kissat
+// scatter and (b) box plots of model inference time and per-instance
+// improvement. Table 3 is derived from the same run.
+type Fig7Result struct {
+	Scatter ScatterResult
+	// InferenceMS collects the per-instance one-time inference cost.
+	InferenceMS []float64
+	// ImprovementProps collects X−Y propagation savings for instances
+	// where NeuroSelect-Kissat improved (the paper plots improvements
+	// only).
+	ImprovementProps []float64
+	// FreqChosen counts instances routed to the frequency policy.
+	FreqChosen int
+	Table3     Table3Result
+	// Oracle is the virtual-best-solver summary: per instance the better
+	// of the two policies, the selector's headroom.
+	Oracle metrics.Summary
+}
+
+// Fig7 trains the selector (memoized), then solves every test instance
+// under plain default ("Kissat") and under the adaptive portfolio
+// ("NeuroSelect-Kissat").
+func (r *Runner) Fig7() (Fig7Result, error) {
+	sel, err := r.Selector()
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	c, err := r.Corpus()
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	budget := r.Scale.ScatterBudget
+	out := Fig7Result{Scatter: ScatterResult{Title: "Figure 7(a) — Kissat vs. NeuroSelect-Kissat"}}
+	var kProps, nProps, kMS, nMS, vbs []float64
+	var kSolved, nSolved []bool
+	for _, it := range c.Test.Items {
+		start := time.Now()
+		kr, err := solver.Solve(it.Inst.F, dataset.SolveOptions(deletion.DefaultPolicy{}, budget))
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		kTime := time.Since(start)
+
+		rep, err := sel.Solve(it.Inst.F, budget)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		if rep.Choice.Policy.Name() == "frequency" {
+			out.FreqChosen++
+		}
+		out.InferenceMS = append(out.InferenceMS, float64(rep.Choice.Inference.Microseconds())/1000)
+
+		kSolvedI := kr.Status != solver.Unknown
+		nSolvedI := rep.Result.Status != solver.Unknown
+		if !kSolvedI && !nSolvedI {
+			continue
+		}
+		p := ScatterPoint{
+			Name: it.Inst.Name,
+			X:    float64(kr.Stats.Propagations), Y: float64(rep.Result.Stats.Propagations),
+			XTime: kTime, YTime: rep.SolveTime + rep.Choice.Inference,
+			XSolved: kSolvedI, YSolved: nSolvedI,
+		}
+		out.Scatter.Points = append(out.Scatter.Points, p)
+		if p.Y < p.X {
+			out.ImprovementProps = append(out.ImprovementProps, p.X-p.Y)
+		}
+		kProps = append(kProps, p.X)
+		nProps = append(nProps, p.Y)
+		kMS = append(kMS, float64(p.XTime.Microseconds())/1000)
+		nMS = append(nMS, float64(p.YTime.Microseconds())/1000)
+		kSolved = append(kSolved, kSolvedI)
+		nSolved = append(nSolved, nSolvedI)
+		// Virtual best solver: the labeling pass measured both policies at
+		// the same budget, so the per-instance minimum is the selector's
+		// headroom.
+		best := float64(it.PropsDefault)
+		if f := float64(it.PropsFrequency); f < best {
+			best = f
+		}
+		vbs = append(vbs, best)
+	}
+	out.Scatter.finish()
+	out.Oracle = metrics.Summarize(vbs, kSolved)
+	out.Table3 = Table3Result{
+		Budget:          budget,
+		Kissat:          metrics.Summarize(kProps, kSolved),
+		NeuroSelect:     metrics.Summarize(nProps, nSolved),
+		KissatTime:      metrics.Summarize(kMS, kSolved),
+		NeuroSelectTime: metrics.Summarize(nMS, nSolved),
+	}
+	out.Table3.MedianImprovement = metrics.RelativeImprovement(
+		out.Table3.Kissat.Median, out.Table3.NeuroSelect.Median)
+	return out, nil
+}
+
+// Points returns the scatter points of the Figure 7(a) comparison.
+func (f Fig7Result) Points() []ScatterPoint { return f.Scatter.Points }
+
+// Table3 runs the Figure 7 comparison and returns its statistics table.
+func (r *Runner) Table3() (Table3Result, error) {
+	f, err := r.Fig7()
+	if err != nil {
+		return Table3Result{}, err
+	}
+	return f.Table3, nil
+}
+
+// Render prints the scatter and the Figure 7(b) box plots.
+func (f Fig7Result) Render() string {
+	var sb strings.Builder
+	sb.WriteString(f.Scatter.Render())
+	fmt.Fprintf(&sb, "  instances routed to the frequency policy: %d of %d\n",
+		f.FreqChosen, len(f.Scatter.Points))
+	sb.WriteString("Figure 7(b) — box plots\n")
+	qs := []float64{0, 0.25, 0.5, 0.75, 1}
+	sb.WriteString(boxplot("inference time", metrics.Quantiles(f.InferenceMS, qs...), "ms"))
+	sb.WriteString(boxplot("improvement", metrics.Quantiles(f.ImprovementProps, qs...), "propagations saved"))
+	fmt.Fprintf(&sb, "  virtual best solver (oracle headroom): median %.0f, average %.0f propagations\n",
+		f.Oracle.Median, f.Oracle.Average)
+	return sb.String()
+}

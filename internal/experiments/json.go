@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report is the machine-readable form of a full experiment run, for
+// archiving reproduction artifacts or diffing across solver versions.
+type Report struct {
+	Fig3       *Fig3Result       `json:"fig3,omitempty"`
+	Fig5       *Fig5Result       `json:"fig5,omitempty"`
+	Table1     *Table1Result     `json:"table1,omitempty"`
+	Fig4       *ScatterResult    `json:"fig4,omitempty"`
+	Table2     *Table2Result     `json:"table2,omitempty"`
+	Fig7       *Fig7Result       `json:"fig7,omitempty"`
+	PolicyPool *PolicyPoolResult `json:"ext_policies,omitempty"`
+	Selectors  *SelectorsResult  `json:"ext_selectors,omitempty"`
+	AlphaSweep *AlphaSweepResult `json:"ext_alpha,omitempty"`
+	Scaling    *ScalingResult    `json:"ext_scaling,omitempty"`
+}
+
+// RunAllJSON executes every experiment and writes one JSON document. The
+// heavyweight shared artifacts (corpus, trained model) are computed once,
+// as in RunAll.
+func (r *Runner) RunAllJSON(w io.Writer) error {
+	var rep Report
+	step := func(name string, run func() error) error {
+		if err := run(); err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		return nil
+	}
+	if err := step("fig3", func() error { v, err := r.Fig3(); rep.Fig3 = &v; return err }); err != nil {
+		return err
+	}
+	if err := step("fig5", func() error { v, err := r.Fig5(); rep.Fig5 = &v; return err }); err != nil {
+		return err
+	}
+	if err := step("table1", func() error { v, err := r.Table1(); rep.Table1 = &v; return err }); err != nil {
+		return err
+	}
+	if err := step("fig4", func() error { v, err := r.Fig4(); rep.Fig4 = &v; return err }); err != nil {
+		return err
+	}
+	if err := step("table2", func() error { v, err := r.Table2(); rep.Table2 = &v; return err }); err != nil {
+		return err
+	}
+	if err := step("fig7", func() error { v, err := r.Fig7(); rep.Fig7 = &v; return err }); err != nil {
+		return err
+	}
+	if err := step("ext-policies", func() error { v, err := r.PolicyPool(); rep.PolicyPool = &v; return err }); err != nil {
+		return err
+	}
+	if err := step("ext-selectors", func() error { v, err := r.Selectors(); rep.Selectors = &v; return err }); err != nil {
+		return err
+	}
+	if err := step("ext-alpha", func() error { v, err := r.AlphaSweep(); rep.AlphaSweep = &v; return err }); err != nil {
+		return err
+	}
+	if err := step("ext-scaling", func() error { v, err := r.Scaling(); rep.Scaling = &v; return err }); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+func mathLog(v float64) float64 { return math.Log(v) }
+
+// table renders rows of cells as an aligned ASCII table with a header.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	line := func(cells []string) {
+		sb.WriteString("  ")
+		for i, c := range cells {
+			fmt.Fprintf(&sb, "%-*s", widths[i]+2, c)
+		}
+		sb.WriteString("\n")
+	}
+	line(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// boxplot renders quantiles (min, q1, median, q3, max) as an ASCII box — the
+// textual analogue of the paper's Figure 7(b) box-and-whisker plots.
+func boxplot(label string, q []float64, unit string) string {
+	if len(q) != 5 {
+		return fmt.Sprintf("  %s: (no data)\n", label)
+	}
+	lo, hi := q[0], q[4]
+	span := hi - lo
+	if span <= 0 {
+		return fmt.Sprintf("  %-22s min=q1=med=q3=max=%.3g %s\n", label, lo, unit)
+	}
+	const w = 50
+	pos := func(v float64) int {
+		p := int(float64(w) * (v - lo) / span)
+		if p < 0 {
+			p = 0
+		}
+		if p >= w {
+			p = w - 1
+		}
+		return p
+	}
+	row := []byte(strings.Repeat(" ", w))
+	for i := pos(q[0]); i <= pos(q[4]); i++ {
+		row[i] = '-'
+	}
+	for i := pos(q[1]); i <= pos(q[3]); i++ {
+		row[i] = '='
+	}
+	row[pos(q[2])] = '|'
+	return fmt.Sprintf("  %-22s [%s]\n  %-22s min=%.3g q1=%.3g med=%.3g q3=%.3g max=%.3g %s\n",
+		label, string(row), "", q[0], q[1], q[2], q[3], q[4], unit)
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// RunAll executes the requested experiments (all of them when only is
+// empty) and writes their rendered reports to w. Valid names: fig3, fig4,
+// fig5, table1, table2, fig7, table3.
+func (r *Runner) RunAll(w io.Writer, only string) error {
+	want := func(name string) bool { return only == "" || only == name }
+	type step struct {
+		name string
+		run  func() (interface{ Render() string }, error)
+	}
+	steps := []step{
+		{"fig3", func() (interface{ Render() string }, error) { v, err := r.Fig3(); return v, err }},
+		{"fig5", func() (interface{ Render() string }, error) { v, err := r.Fig5(); return v, err }},
+		{"table1", func() (interface{ Render() string }, error) { v, err := r.Table1(); return v, err }},
+		{"fig4", func() (interface{ Render() string }, error) { v, err := r.Fig4(); return v, err }},
+		{"table2", func() (interface{ Render() string }, error) { v, err := r.Table2(); return v, err }},
+		{"fig7", func() (interface{ Render() string }, error) { v, err := r.Fig7(); return v, err }},
+		{"ext-policies", func() (interface{ Render() string }, error) { v, err := r.PolicyPool(); return v, err }},
+		{"ext-selectors", func() (interface{ Render() string }, error) { v, err := r.Selectors(); return v, err }},
+		{"ext-alpha", func() (interface{ Render() string }, error) { v, err := r.AlphaSweep(); return v, err }},
+		{"ext-scaling", func() (interface{ Render() string }, error) { v, err := r.Scaling(); return v, err }},
+	}
+	ran := false
+	for _, s := range steps {
+		match := want(s.name)
+		// Table 3 is produced by the Figure 7 run.
+		if s.name == "fig7" && only == "table3" {
+			match = true
+		}
+		if !match {
+			continue
+		}
+		ran = true
+		res, err := s.run()
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", s.name, err)
+		}
+		if only == "table3" {
+			if f7, ok := res.(Fig7Result); ok {
+				fmt.Fprintln(w, f7.Table3.Render())
+				continue
+			}
+		}
+		fmt.Fprintln(w, res.Render())
+		if s.name == "fig7" && only == "" {
+			if f7, ok := res.(Fig7Result); ok {
+				fmt.Fprintln(w, f7.Table3.Render())
+			}
+		}
+	}
+	if !ran {
+		return fmt.Errorf("experiments: unknown experiment %q (valid: fig3, fig4, fig5, table1, table2, fig7, table3, ext-policies, ext-selectors, ext-alpha, ext-scaling)", only)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: Figure 3 (propagation-frequency distribution), Figure 4
+// (default vs. frequency policy scatter), Table 1 (dataset statistics),
+// Table 2 (classifier comparison), Figure 7 (portfolio scatter and
+// inference-time/improvement box plots), and Table 3 (runtime statistics).
+//
+// A Runner owns the shared artifacts (labeled corpus, trained NeuroSelect
+// model) and exposes one method per experiment. Scale presets size the runs
+// from unit-test-fast to paper-shaped.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"neuroselect/internal/core"
+	"neuroselect/internal/dataset"
+	"neuroselect/internal/portfolio"
+	"neuroselect/internal/satgraph"
+)
+
+// Scale sizes an experiment run.
+type Scale struct {
+	Corpus dataset.Config
+	Model  core.Config
+	Train  core.TrainConfig
+	// Restarts is the number of training restarts; the model with the best
+	// balanced accuracy on the training set is kept.
+	Restarts int
+	// BaselineEpochs bounds the Table 2 baseline training runs.
+	BaselineEpochs int
+	// ScatterBudget is the conflict budget for the Figure 4 / Figure 7
+	// solving runs (the analogue of the paper's 5,000 s timeout).
+	ScatterBudget int64
+}
+
+// QuickScale is small enough for unit tests and benchmarks.
+func QuickScale() Scale {
+	return Scale{
+		Corpus: dataset.Config{TrainStrata: 2, PerStratum: 6, TestSize: 8, Seed: 11,
+			MaxConflicts: 20000},
+		Model:          core.Config{Hidden: 8, HGTLayers: 1, MPLayers: 2, Attention: true, Seed: 3},
+		Train:          core.TrainConfig{Epochs: 6, LR: 5e-3, Seed: 1},
+		Restarts:       1,
+		BaselineEpochs: 4,
+		ScatterBudget:  20000,
+	}
+}
+
+// DefaultScale is the cmd/experiments default: minutes on a laptop, enough
+// instances for the paper's qualitative shapes.
+func DefaultScale() Scale {
+	return Scale{
+		Corpus: dataset.Config{TrainStrata: 6, PerStratum: 18, TestSize: 36, Seed: 11,
+			MaxConflicts: 60000},
+		Model:          core.Config{Hidden: 16, HGTLayers: 2, MPLayers: 2, Attention: true, Seed: 3},
+		Train:          core.TrainConfig{Epochs: 60, LR: 1e-3, Seed: 1},
+		Restarts:       3,
+		BaselineEpochs: 20,
+		ScatterBudget:  60000,
+	}
+}
+
+// Runner executes the experiments, memoizing the corpus and trained model.
+type Runner struct {
+	Scale Scale
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+
+	corpus    *dataset.Corpus
+	model     *core.Model
+	threshold float64
+}
+
+// NewRunner returns a Runner at the given scale.
+func NewRunner(s Scale) *Runner { return &Runner{Scale: s, threshold: -1} }
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+// Corpus builds (once) the labeled corpus.
+func (r *Runner) Corpus() (*dataset.Corpus, error) {
+	if r.corpus == nil {
+		r.logf("building labeled corpus (%d strata × %d + %d test)...",
+			r.Scale.Corpus.TrainStrata, r.Scale.Corpus.PerStratum, r.Scale.Corpus.TestSize)
+		c, err := dataset.Build(r.Scale.Corpus)
+		if err != nil {
+			return nil, err
+		}
+		r.corpus = c
+	}
+	return r.corpus, nil
+}
+
+// Samples converts labeled items to model training samples.
+func Samples(items []dataset.Labeled) []core.Sample {
+	out := make([]core.Sample, len(items))
+	for i, it := range items {
+		out[i] = core.Sample{Name: it.Inst.Name, G: satgraph.BuildVCG(it.Inst.F), Label: it.Label}
+	}
+	return out
+}
+
+// TrainedModel trains (once) the NeuroSelect model on the corpus's training
+// strata.
+func (r *Runner) TrainedModel() (*core.Model, error) {
+	if r.model != nil {
+		return r.model, nil
+	}
+	c, err := r.Corpus()
+	if err != nil {
+		return nil, err
+	}
+	train := Samples(c.All())
+	cfg := r.Scale.Train
+	cfg.PosWeight = core.BalancedPosWeight(train)
+	restarts := r.Scale.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	r.logf("training NeuroSelect (%d samples, %d epochs, %d restarts)...",
+		len(train), cfg.Epochs, restarts)
+	m, score := core.TrainBest(r.Scale.Model, train, cfg, restarts)
+	r.logf("best training balanced accuracy %.3f", score)
+	r.model = m
+	return m, nil
+}
+
+// Selector returns a calibrated portfolio selector for the trained model.
+func (r *Runner) Selector() (*portfolio.Selector, error) {
+	m, err := r.TrainedModel()
+	if err != nil {
+		return nil, err
+	}
+	if r.threshold < 0 {
+		c, _ := r.Corpus()
+		r.threshold = portfolio.CalibrateThreshold(m, c.All())
+		r.logf("calibrated decision threshold: %.2f", r.threshold)
+	}
+	s := portfolio.NewSelector(m)
+	s.Threshold = r.threshold
+	return s, nil
+}

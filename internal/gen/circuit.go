@@ -1,0 +1,169 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"neuroselect/internal/circuit"
+	"neuroselect/internal/cnf"
+)
+
+// gateSpec describes one random gate: a function of two earlier wires.
+type gateSpec struct {
+	op   byte // 'A' and, 'O' or, 'X' xor
+	in1  int  // index into the wire list
+	in2  int
+	neg1 bool
+	neg2 bool
+}
+
+// randomCircuitSpec draws a layered random circuit over the given number of
+// inputs and gates.
+func randomCircuitSpec(rng *rand.Rand, inputs, gates int) []gateSpec {
+	specs := make([]gateSpec, gates)
+	ops := []byte{'A', 'O', 'X'}
+	for g := 0; g < gates; g++ {
+		avail := inputs + g
+		specs[g] = gateSpec{
+			op:   ops[rng.Intn(len(ops))],
+			in1:  rng.Intn(avail),
+			in2:  rng.Intn(avail),
+			neg1: rng.Intn(2) == 0,
+			neg2: rng.Intn(2) == 0,
+		}
+	}
+	return specs
+}
+
+// buildCircuit instantiates a circuit spec over the given input wires and
+// returns the final wire (the last gate's output).
+func buildCircuit(b *circuit.Builder, spec []gateSpec, inputWires []circuit.Wire) circuit.Wire {
+	wires := append([]circuit.Wire{}, inputWires...)
+	for _, g := range spec {
+		x, y := wires[g.in1], wires[g.in2]
+		if g.neg1 {
+			x = b.Not(x)
+		}
+		if g.neg2 {
+			y = b.Not(y)
+		}
+		var o circuit.Wire
+		switch g.op {
+		case 'A':
+			o = b.And(x, y)
+		case 'O':
+			o = b.Or(x, y)
+		default:
+			o = b.Xor(x, y)
+		}
+		wires = append(wires, o)
+	}
+	return wires[len(wires)-1]
+}
+
+// Miter generates a combinational equivalence-checking instance: two copies
+// of a random circuit over shared inputs with their outputs XORed and the
+// XOR asserted true. With faulty=false the copies are identical, so the
+// miter is unsatisfiable (the classic CEC certificate); with faulty=true one
+// gate of the second copy is perturbed, which usually (not always) creates
+// a functional difference, so satisfiability is left undetermined.
+func Miter(inputs, gates int, faulty bool, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	spec := randomCircuitSpec(rng, inputs, gates)
+	spec2 := make([]gateSpec, len(spec))
+	copy(spec2, spec)
+	if faulty {
+		g := rng.Intn(len(spec2))
+		switch rng.Intn(3) {
+		case 0:
+			spec2[g].neg1 = !spec2[g].neg1
+		case 1:
+			ops := []byte{'A', 'O', 'X'}
+			spec2[g].op = ops[(indexOf(ops, spec2[g].op)+1)%len(ops)]
+		default:
+			spec2[g].in1 = rng.Intn(inputs + g)
+		}
+	}
+	b := circuit.New()
+	in := b.Inputs(inputs)
+	// Separate structural-hash namespaces for the two copies so the
+	// comparison exercises real duplicated logic, as a CEC miter does.
+	out1 := buildCircuit(b, spec, in)
+	b.ClearCache()
+	out2 := buildCircuit(b, spec2, in)
+	b.Assert(b.Xor(out1, out2))
+	exp, tag := ExpectUnsat, "equiv"
+	if faulty {
+		exp, tag = ExpectUnknown, "faulty"
+	}
+	return Instance{
+		Name:   fmt.Sprintf("miter-%s-i%d-g%d-s%d", tag, inputs, gates, seed),
+		Family: "miter", Seed: seed, Expected: exp, F: b.Formula(),
+	}
+}
+
+func indexOf(s []byte, b byte) int {
+	for i, x := range s {
+		if x == b {
+			return i
+		}
+	}
+	return 0
+}
+
+// BMCCounter generates a bounded-model-checking style instance: a width-bit
+// register starts at zero and on each of steps transitions adds 1 plus a
+// free input bit (so each step adds 1 or 2); the property asserts the final
+// value equals target. Reachable finals are exactly steps..2*steps, so the
+// instance is satisfiable iff steps <= target <= 2*steps (width is grown to
+// rule out wraparound), letting callers generate both polarities
+// deterministically while keeping a genuine search over the input bits.
+func BMCCounter(width, steps int, target uint64) Instance {
+	for uint64(1)<<uint(width) <= uint64(2*steps) || uint64(1)<<uint(width) <= target {
+		width++
+	}
+	b := circuit.New()
+	state := b.Const(0, width)
+	for s := 0; s < steps; s++ {
+		inc := b.Input() // free input: add 1 or 2 this step
+		// addend = inc ? 2 : 1, i.e. bit0 = ¬inc, bit1 = inc.
+		addend := b.Const(0, width)
+		addend[0] = b.Not(inc)
+		if width > 1 {
+			addend[1] = inc
+		}
+		state = b.Add(state, addend)
+	}
+	b.AssertEqualConst(state, target)
+	exp, tag := ExpectUnsat, "unsat"
+	if target >= uint64(steps) && target <= uint64(2*steps) {
+		exp, tag = ExpectSat, "sat"
+	}
+	return Instance{
+		Name:   fmt.Sprintf("bmc-%s-w%d-t%d-g%d", tag, width, steps, target),
+		Family: "bmc", Expected: exp, F: b.Formula(),
+	}
+}
+
+// subsetSumBuilder exposes the adder-chain encoding for SubsetSum in
+// families.go using the shared circuit builder.
+func subsetSumEncode(values []int, target, total, maxValue int) *cnf.Formula {
+	b := circuit.New()
+	picks := b.Inputs(len(values))
+	width := 1
+	for 1<<width <= total+maxValue {
+		width++
+	}
+	acc := b.Const(0, width)
+	for i, val := range values {
+		addend := b.Const(0, width)
+		for bit := 0; bit < width; bit++ {
+			if val&(1<<bit) != 0 {
+				addend[bit] = picks[i] // bit present iff value picked
+			}
+		}
+		acc = b.Add(acc, addend)
+	}
+	b.AssertEqualConst(acc, uint64(target))
+	return b.Formula()
+}

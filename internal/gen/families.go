@@ -1,0 +1,337 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"neuroselect/internal/cnf"
+)
+
+// Tseitin generates a Tseitin formula over a random degree-regular
+// multigraph: one variable per edge and one XOR ("charge") constraint per
+// vertex. With sat=true the charges are derived from a hidden edge
+// assignment, so the instance is satisfiable; with sat=false the total
+// charge is made odd, which makes the instance unsatisfiable (some connected
+// component must carry odd charge). Tseitin formulas over (near-)expander
+// graphs are the classic resolution-hard UNSAT family.
+func Tseitin(vertices, degree int, sat bool, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	if vertices*degree%2 != 0 {
+		vertices++ // stub pairing needs an even stub count
+	}
+	// Random degree-regular multigraph by stub pairing, avoiding self-loops
+	// by local swaps.
+	stubs := make([]int, 0, vertices*degree)
+	for v := 0; v < vertices; v++ {
+		for d := 0; d < degree; d++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	type edge struct{ a, b int }
+	edges := make([]edge, 0, len(stubs)/2)
+	for i := 0; i < len(stubs); i += 2 {
+		a, b := stubs[i], stubs[i+1]
+		if a == b {
+			// Swap with a later stub belonging to a different vertex.
+			for j := i + 2; j < len(stubs); j++ {
+				if stubs[j] != a {
+					stubs[i+1], stubs[j] = stubs[j], stubs[i+1]
+					b = stubs[i+1]
+					break
+				}
+			}
+		}
+		edges = append(edges, edge{a, b})
+	}
+
+	incident := make([][]int, vertices) // vertex -> edge variables (1-based)
+	for i, e := range edges {
+		if e.a == e.b {
+			// A residual self-loop would contribute its variable once to a
+			// vertex constraint and break the parity-sum argument that
+			// makes the odd-charge instance unsatisfiable; in XOR algebra a
+			// self-loop contributes twice and cancels, so it is dropped.
+			continue
+		}
+		incident[e.a] = append(incident[e.a], i+1)
+		incident[e.b] = append(incident[e.b], i+1)
+	}
+
+	charges := make([]bool, vertices)
+	if sat {
+		hidden := make([]bool, len(edges)+1)
+		for i := 1; i <= len(edges); i++ {
+			hidden[i] = rng.Intn(2) == 0
+		}
+		for v := 0; v < vertices; v++ {
+			c := false
+			for _, ev := range incident[v] {
+				c = c != hidden[ev]
+			}
+			charges[v] = c
+		}
+	} else {
+		total := false
+		for v := 0; v < vertices; v++ {
+			charges[v] = rng.Intn(2) == 0
+			total = total != charges[v]
+		}
+		if !total {
+			charges[0] = !charges[0] // force odd total charge
+		}
+	}
+
+	f := cnf.New(len(edges))
+	for v := 0; v < vertices; v++ {
+		if len(incident[v]) == 0 {
+			continue
+		}
+		addXOR(f, incident[v], charges[v])
+	}
+	exp, tag := ExpectUnsat, "unsat"
+	if sat {
+		exp, tag = ExpectSat, "sat"
+	}
+	return Instance{
+		Name:   fmt.Sprintf("tseitin-%s-v%d-d%d-s%d", tag, vertices, degree, seed),
+		Family: "tseitin", Seed: seed, Expected: exp, F: f,
+	}
+}
+
+// GraphColoring encodes k-coloring of a random graph with the given number
+// of vertices and edges. Variables x[v][c] mean "vertex v has color c".
+// Satisfiability is not determined by construction.
+func GraphColoring(vertices, edges, colors int, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	f := cnf.New(vertices * colors)
+	x := func(v, c int) cnf.Lit { return cnf.Lit(v*colors + c + 1) }
+	for v := 0; v < vertices; v++ {
+		row := make([]cnf.Lit, colors)
+		for c := 0; c < colors; c++ {
+			row[c] = x(v, c)
+		}
+		f.MustAddClause(row...)
+		for c1 := 0; c1 < colors; c1++ {
+			for c2 := c1 + 1; c2 < colors; c2++ {
+				f.MustAddClause(-x(v, c1), -x(v, c2))
+			}
+		}
+	}
+	if max := vertices * (vertices - 1) / 2; edges > max {
+		edges = max // cannot exceed the complete graph
+	}
+	seen := map[[2]int]bool{}
+	added := 0
+	for added < edges {
+		a, b := rng.Intn(vertices), rng.Intn(vertices)
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int{a, b}] {
+			continue
+		}
+		seen[[2]int{a, b}] = true
+		added++
+		for c := 0; c < colors; c++ {
+			f.MustAddClause(-x(a, c), -x(b, c))
+		}
+	}
+	return Instance{
+		Name:   fmt.Sprintf("color-v%d-e%d-k%d-s%d", vertices, edges, colors, seed),
+		Family: "coloring", Seed: seed, Expected: ExpectUnknown, F: f,
+	}
+}
+
+// NQueens encodes the n-queens problem (satisfiable for n != 2, 3).
+func NQueens(n int) Instance {
+	f := cnf.New(n * n)
+	q := func(r, c int) cnf.Lit { return cnf.Lit(r*n + c + 1) }
+	for r := 0; r < n; r++ {
+		row := make([]cnf.Lit, n)
+		for c := 0; c < n; c++ {
+			row[c] = q(r, c)
+		}
+		f.MustAddClause(row...)
+	}
+	// At most one queen per row, column, and diagonal.
+	for r1 := 0; r1 < n; r1++ {
+		for c1 := 0; c1 < n; c1++ {
+			for r2 := r1; r2 < n; r2++ {
+				for c2 := 0; c2 < n; c2++ {
+					if r2 == r1 && c2 <= c1 {
+						continue
+					}
+					sameRow := r1 == r2
+					sameCol := c1 == c2
+					sameDiag := r2-r1 == c2-c1 || r2-r1 == c1-c2
+					if sameRow || sameCol || sameDiag {
+						f.MustAddClause(-q(r1, c1), -q(r2, c2))
+					}
+				}
+			}
+		}
+	}
+	exp := ExpectSat
+	if n == 2 || n == 3 {
+		exp = ExpectUnsat
+	}
+	return Instance{
+		Name:   fmt.Sprintf("queens-%d", n),
+		Family: "queens", Expected: exp, F: f,
+	}
+}
+
+// CommunityKSAT generates a random k-SAT formula with community structure:
+// variables are partitioned into communities and each clause draws its
+// variables from a single community with probability locality, otherwise
+// uniformly. Community structure is characteristic of industrial instances.
+func CommunityKSAT(n, m, k, communities int, locality float64, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	if communities < 1 {
+		communities = 1
+	}
+	size := (n + communities - 1) / communities
+	f := cnf.New(n)
+	for i := 0; i < m; i++ {
+		var lits []cnf.Lit
+		if rng.Float64() < locality {
+			com := rng.Intn(communities)
+			lo := com * size
+			hi := lo + size
+			if hi > n {
+				hi = n
+			}
+			if hi-lo < k {
+				lo = n - k
+				if lo < 0 {
+					lo = 0
+				}
+				hi = n
+			}
+			lits = randClauseRange(rng, lo+1, hi, k)
+		} else {
+			lits = randClause(rng, n, k)
+		}
+		f.MustAddClause(lits...)
+	}
+	return Instance{
+		Name:   fmt.Sprintf("community-n%d-m%d-k%d-c%d-s%d", n, m, k, communities, seed),
+		Family: "community", Seed: seed, Expected: ExpectUnknown, F: f,
+	}
+}
+
+// randClauseRange draws k distinct variables within [lo, hi] (1-based,
+// inclusive) with random polarities.
+func randClauseRange(rng *rand.Rand, lo, hi, k int) []cnf.Lit {
+	span := hi - lo + 1
+	if k > span {
+		k = span
+	}
+	seen := make(map[int]bool, k)
+	lits := make([]cnf.Lit, 0, k)
+	for len(lits) < k {
+		v := lo + rng.Intn(span)
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		l := cnf.Lit(v)
+		if rng.Intn(2) == 0 {
+			l = -l
+		}
+		lits = append(lits, l)
+	}
+	return lits
+}
+
+// PowerLawKSAT generates random k-SAT whose variable occurrences follow a
+// power-law distribution (variable v is drawn with probability ∝ v^−beta),
+// the degree profile characteristic of industrial instances (scale-free
+// SAT). beta around 0.8–1.1 gives realistic skew.
+func PowerLawKSAT(n, m, k int, beta float64, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	// Precompute the cumulative distribution once.
+	cdf := make([]float64, n+1)
+	total := 0.0
+	for v := 1; v <= n; v++ {
+		total += 1 / math.Pow(float64(v), beta)
+		cdf[v] = total
+	}
+	draw := func() int {
+		x := rng.Float64() * total
+		lo, hi := 1, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cdf[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	f := cnf.New(n)
+	for i := 0; i < m; i++ {
+		seen := map[int]bool{}
+		lits := make([]cnf.Lit, 0, k)
+		for len(lits) < k {
+			v := draw()
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			l := cnf.Lit(v)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			lits = append(lits, l)
+		}
+		f.MustAddClause(lits...)
+	}
+	return Instance{
+		Name:   fmt.Sprintf("powerlaw-n%d-m%d-b%.1f-s%d", n, m, beta, seed),
+		Family: "powerlaw", Seed: seed, Expected: ExpectUnknown, F: f,
+	}
+}
+
+// SubsetSum encodes a bounded subset-sum instance: choose a subset of the
+// given positive values summing exactly to target, via a binary adder
+// chain over Tseitin variables. Weights and target are derived from the
+// seed; with forceSat the target is the sum of a random subset.
+func SubsetSum(nValues, maxValue int, forceSat bool, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	values := make([]int, nValues)
+	total := 0
+	for i := range values {
+		values[i] = 1 + rng.Intn(maxValue)
+		total += values[i]
+	}
+	target := 0
+	if forceSat {
+		for i := range values {
+			if rng.Intn(2) == 0 {
+				target += values[i]
+			}
+		}
+	} else {
+		// A target above the total is trivially UNSAT; pick one just above
+		// to keep the adder chain honest.
+		target = total + 1 + rng.Intn(maxValue)
+	}
+	// Accumulate sum bits with ripple-carry adders over the binary
+	// representations of the values gated by the pick variables.
+	f := subsetSumEncode(values, target, total, maxValue)
+	exp, tag := ExpectSat, "sat"
+	if !forceSat {
+		exp, tag = ExpectUnsat, "unsat"
+	}
+	return Instance{
+		Name:   fmt.Sprintf("subsetsum-%s-n%d-s%d", tag, nValues, seed),
+		Family: "subsetsum", Seed: seed, Expected: exp, F: f,
+	}
+}

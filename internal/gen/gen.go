@@ -1,0 +1,211 @@
+// Package gen produces deterministic synthetic SAT instances. It stands in
+// for the SAT Competition 2016–2022 benchmarks used by the paper, providing
+// a heterogeneous population of instance families — UNSAT-proof-heavy,
+// SAT-search-heavy, and structured/industrial-like — on which different
+// clause-deletion policies win on different instances (the Figure 4
+// phenomenon the selector learns to exploit).
+//
+// All generators are pure functions of their parameters and seed.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"neuroselect/internal/cnf"
+)
+
+// Expectation records the known satisfiability of a generated instance when
+// the construction guarantees it.
+type Expectation int8
+
+const (
+	// ExpectUnknown means satisfiability is not determined by construction.
+	ExpectUnknown Expectation = iota
+	// ExpectSat means the instance is satisfiable by construction.
+	ExpectSat
+	// ExpectUnsat means the instance is unsatisfiable by construction.
+	ExpectUnsat
+)
+
+// String implements fmt.Stringer.
+func (e Expectation) String() string {
+	switch e {
+	case ExpectSat:
+		return "SAT"
+	case ExpectUnsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Instance is a generated formula plus provenance metadata.
+type Instance struct {
+	Name     string
+	Family   string
+	Seed     int64
+	Expected Expectation
+	F        *cnf.Formula
+}
+
+// RandomKSAT generates a uniform random k-SAT formula with n variables and
+// m clauses. Clauses have k distinct variables with random polarities. At
+// the phase-transition ratio (m/n ≈ 4.27 for k=3) instances are hardest.
+func RandomKSAT(n, m, k int, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	f := cnf.New(n)
+	for i := 0; i < m; i++ {
+		f.MustAddClause(randClause(rng, n, k)...)
+	}
+	return Instance{
+		Name:   fmt.Sprintf("rand%dsat-n%d-m%d-s%d", k, n, m, seed),
+		Family: "random", Seed: seed, Expected: ExpectUnknown, F: f,
+	}
+}
+
+// randClause draws k distinct variables with random polarities.
+func randClause(rng *rand.Rand, n, k int) []cnf.Lit {
+	if k > n {
+		k = n
+	}
+	seen := make(map[int]bool, k)
+	lits := make([]cnf.Lit, 0, k)
+	for len(lits) < k {
+		v := rng.Intn(n) + 1
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		l := cnf.Lit(v)
+		if rng.Intn(2) == 0 {
+			l = -l
+		}
+		lits = append(lits, l)
+	}
+	return lits
+}
+
+// Pigeonhole generates the PHP(holes+1, holes) principle: holes+1 pigeons
+// into holes holes, each pigeon in some hole, no two pigeons share a hole.
+// Unsatisfiable, with resolution proofs of exponential size — a proof-heavy
+// stress for clause learning.
+func Pigeonhole(holes int) Instance {
+	pigeons := holes + 1
+	f := cnf.New(pigeons * holes)
+	v := func(p, h int) cnf.Lit { return cnf.Lit(p*holes + h + 1) }
+	for p := 0; p < pigeons; p++ {
+		row := make([]cnf.Lit, holes)
+		for h := 0; h < holes; h++ {
+			row[h] = v(p, h)
+		}
+		f.MustAddClause(row...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.MustAddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	return Instance{
+		Name:   fmt.Sprintf("php-%d", holes),
+		Family: "pigeonhole", Expected: ExpectUnsat, F: f,
+	}
+}
+
+// ParityChain encodes a random system of XOR constraints over n variables
+// as CNF. Each constraint XORs width variables. With consistent=false a
+// random constraint is flipped to make the system (almost surely)
+// inconsistent; with consistent=true the right-hand sides are derived from
+// a hidden assignment, guaranteeing satisfiability.
+func ParityChain(n, constraints, width int, consistent bool, seed int64) Instance {
+	rng := rand.New(rand.NewSource(seed))
+	hidden := make([]bool, n+1)
+	for i := 1; i <= n; i++ {
+		hidden[i] = rng.Intn(2) == 0
+	}
+	f := cnf.New(n)
+	var vars0 []int
+	rhs0 := false
+	for i := 0; i < constraints; i++ {
+		vars := pickDistinct(rng, n, width)
+		rhs := false
+		for _, v := range vars {
+			rhs = rhs != hidden[v]
+		}
+		if i == 0 {
+			vars0, rhs0 = vars, rhs
+			if !consistent {
+				rhs = !rhs
+			}
+		}
+		addXOR(f, vars, rhs)
+	}
+	exp := ExpectSat
+	tag := "sat"
+	if !consistent {
+		// The flipped first constraint contradicts its unflipped twin,
+		// guaranteeing unsatisfiability regardless of the rest.
+		addXOR(f, vars0, rhs0)
+		exp = ExpectUnsat
+		tag = "unsat"
+	}
+	return Instance{
+		Name:   fmt.Sprintf("parity-%s-n%d-c%d-w%d-s%d", tag, n, constraints, width, seed),
+		Family: "parity", Seed: seed, Expected: exp, F: f,
+	}
+}
+
+// addXOR appends the CNF expansion of x1 ⊕ … ⊕ xk = rhs: all clauses with
+// an even (rhs=true: odd) number of negations... concretely every polarity
+// combination whose parity of positive literals disagrees with rhs is
+// excluded.
+func addXOR(f *cnf.Formula, vars []int, rhs bool) {
+	k := len(vars)
+	for mask := 0; mask < 1<<k; mask++ {
+		// Count negated positions; the clause forbids the assignment whose
+		// XOR is ¬rhs.
+		neg := 0
+		for b := 0; b < k; b++ {
+			if mask&(1<<b) != 0 {
+				neg++
+			}
+		}
+		parity := neg%2 == 1
+		// Assignment excluded by this clause: literal l_i false for all i.
+		// XOR of the excluded assignment = parity of positives among
+		// "false" pattern. A clause with negs negations excludes the
+		// assignment where negated vars are true. That assignment's XOR is
+		// (neg mod 2).
+		if parity == rhs {
+			continue // excluded assignment would have XOR == rhs: keep it
+		}
+		lits := make([]cnf.Lit, k)
+		for b := 0; b < k; b++ {
+			l := cnf.Lit(vars[b])
+			if mask&(1<<b) != 0 {
+				l = -l
+			}
+			lits[b] = l
+		}
+		f.MustAddClause(lits...)
+	}
+}
+
+func pickDistinct(rng *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for len(out) < k {
+		v := rng.Intn(n) + 1
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out
+}

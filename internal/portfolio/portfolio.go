@@ -1,0 +1,125 @@
+// Package portfolio implements the NeuroSelect-Kissat flow of §5.4: a
+// one-time model inference selects the clause-deletion policy for an
+// instance, then the CDCL solver runs under the chosen policy. Inference
+// time is accounted separately so the Figure 7(b) breakdown can be
+// reproduced.
+package portfolio
+
+import (
+	"time"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/core"
+	"neuroselect/internal/dataset"
+	"neuroselect/internal/deletion"
+	"neuroselect/internal/satgraph"
+	"neuroselect/internal/solver"
+)
+
+// NodeCapDefault mirrors the paper's 400,000-node filter: instances whose
+// graph exceeds the cap skip inference and use the default policy.
+const NodeCapDefault = 400000
+
+// Selector chooses a deletion policy per instance using a trained
+// NeuroSelect model.
+type Selector struct {
+	Model *core.Model
+	// Threshold is the probability above which the frequency policy is
+	// selected (0.5 unless calibrated).
+	Threshold float64
+	// NodeCap disables inference for graphs with more nodes (the paper's
+	// 400,000-node filter). Zero means NodeCapDefault.
+	NodeCap int
+}
+
+// NewSelector wraps a trained model with the standard threshold and node
+// cap.
+func NewSelector(m *core.Model) *Selector {
+	return &Selector{Model: m, Threshold: 0.5, NodeCap: NodeCapDefault}
+}
+
+// Choice records one policy-selection decision.
+type Choice struct {
+	Policy deletion.Policy
+	// Prob is the model's probability for the frequency policy; negative
+	// when inference was skipped by the node cap.
+	Prob float64
+	// Inference is the wall-clock cost of the one-time model call.
+	Inference time.Duration
+}
+
+// Choose runs the one-time inference and returns the selected policy.
+func (s *Selector) Choose(f *cnf.Formula) Choice {
+	cap := s.NodeCap
+	if cap == 0 {
+		cap = NodeCapDefault
+	}
+	if f.NumVars+len(f.Clauses) > cap {
+		return Choice{Policy: deletion.DefaultPolicy{}, Prob: -1}
+	}
+	start := time.Now()
+	g := satgraph.BuildVCG(f)
+	prob := s.Model.PredictGraph(g)
+	ch := Choice{Prob: prob, Inference: time.Since(start)}
+	if prob >= s.Threshold {
+		ch.Policy = deletion.FrequencyPolicy{}
+	} else {
+		ch.Policy = deletion.DefaultPolicy{}
+	}
+	return ch
+}
+
+// Report is the outcome of one adaptive solve.
+type Report struct {
+	Choice    Choice
+	Result    solver.Result
+	SolveTime time.Duration
+}
+
+// Solve chooses a policy and solves under it with the experiment-standard
+// options and the given conflict budget.
+func (s *Selector) Solve(f *cnf.Formula, maxConflicts int64) (Report, error) {
+	ch := s.Choose(f)
+	start := time.Now()
+	res, err := solver.Solve(f, dataset.SolveOptions(ch.Policy, maxConflicts))
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{Choice: ch, Result: res, SolveTime: time.Since(start)}, nil
+}
+
+// CalibrateThreshold grid-searches the decision threshold that maximizes
+// total propagation savings on labeled data — the portfolio analogue of
+// picking an operating point on the precision/recall curve. When no
+// threshold yields positive savings it returns a threshold above 1
+// ("never select"), so an uninformative model degrades gracefully to
+// exactly Kissat's default behaviour.
+func CalibrateThreshold(m *core.Model, items []dataset.Labeled) float64 {
+	return CalibrateThresholdFunc(m.Predict, items)
+}
+
+// CalibrateThresholdFunc is CalibrateThreshold for an arbitrary probability
+// predictor.
+func CalibrateThresholdFunc(predict func(*cnf.Formula) float64, items []dataset.Labeled) float64 {
+	type scored struct {
+		prob float64
+		gain int64 // propagations saved by choosing the frequency policy
+	}
+	var xs []scored
+	for _, it := range items {
+		xs = append(xs, scored{prob: predict(it.Inst.F), gain: it.PropsDefault - it.PropsFrequency})
+	}
+	best, bestGain := 1.1, int64(0) // threshold 1.1 ≡ never select
+	for _, th := range []float64{0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		total := int64(0)
+		for _, x := range xs {
+			if x.prob >= th {
+				total += x.gain
+			}
+		}
+		if total > bestGain {
+			best, bestGain = th, total
+		}
+	}
+	return best
+}

@@ -1,0 +1,71 @@
+package portfolio
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/dataset"
+	"neuroselect/internal/deletion"
+	"neuroselect/internal/solver"
+)
+
+// RaceReport is the outcome of a parallel two-policy race.
+type RaceReport struct {
+	Result solver.Result
+	// Winner names the policy whose solver finished first.
+	Winner string
+	// WallTime is the race's wall-clock duration.
+	WallTime time.Duration
+}
+
+// Race solves the formula under the default and the frequency-guided
+// deletion policies in parallel and returns the first finisher, stopping
+// the loser. This realizes the virtual-best-solver bound at the cost of 2×
+// CPU — the hardware-hungry alternative to NeuroSelect's learned one-shot
+// selection, included as a baseline extension.
+func Race(f *cnf.Formula, maxConflicts int64) (RaceReport, error) {
+	type outcome struct {
+		res    solver.Result
+		err    error
+		policy string
+	}
+	var stop atomic.Bool
+	results := make(chan outcome, 2)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, p := range []deletion.Policy{deletion.DefaultPolicy{}, deletion.FrequencyPolicy{}} {
+		wg.Add(1)
+		go func(p deletion.Policy) {
+			defer wg.Done()
+			opts := dataset.SolveOptions(p, maxConflicts)
+			opts.Interrupt = stop.Load
+			res, err := solver.Solve(f, opts)
+			results <- outcome{res: res, err: err, policy: p.Name()}
+		}(p)
+	}
+	var first outcome
+	got := false
+	for i := 0; i < 2; i++ {
+		o := <-results
+		if o.err != nil {
+			stop.Store(true)
+			wg.Wait()
+			return RaceReport{}, o.err
+		}
+		// Accept the first decisive answer; if the first finisher was
+		// interrupted or out of budget, fall back to the second.
+		if !got && (o.res.Status != solver.Unknown || i == 1) {
+			first = o
+			got = true
+			stop.Store(true)
+		}
+	}
+	wg.Wait()
+	return RaceReport{
+		Result:   first.res,
+		Winner:   first.policy,
+		WallTime: time.Since(start),
+	}, nil
+}

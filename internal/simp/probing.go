@@ -1,0 +1,165 @@
+package simp
+
+import "neuroselect/internal/cnf"
+
+// FailedLiteralProbe performs failed-literal probing on the formula: for
+// every literal l of every unassigned variable, it assumes l, runs unit
+// propagation, and if a conflict arises learns the unit ¬l. Probing runs to
+// a fixpoint (a learned unit can fail further literals) and returns the
+// discovered units plus whether the formula was refuted outright (both
+// polarities of some variable failed).
+//
+// Probing is quadratic in the worst case, so MaxProbes bounds the number of
+// propagation runs (0 means the default of 4·NumVars).
+func FailedLiteralProbe(f *cnf.Formula, maxProbes int) (units []cnf.Lit, unsat bool) {
+	if maxProbes == 0 {
+		maxProbes = 4 * f.NumVars
+	}
+	// Occurrence lists for unit propagation.
+	occ := make([][]int, 2*f.NumVars)
+	idx := func(l cnf.Lit) int {
+		i := 2 * (l.Var() - 1)
+		if l < 0 {
+			i++
+		}
+		return i
+	}
+	for ci, c := range f.Clauses {
+		for _, l := range c {
+			occ[idx(l)] = append(occ[idx(l)], ci)
+		}
+	}
+
+	fixed := make([]int8, f.NumVars+1) // top-level assignment
+
+	// propagate assumes the literals in seed on top of fixed and reports
+	// conflict; assign is scratch space reused across probes.
+	assign := make([]int8, f.NumVars+1)
+	propagate := func(seed []cnf.Lit) bool {
+		copy(assign, fixed)
+		var queue []cnf.Lit
+		enqueue := func(l cnf.Lit) bool {
+			v := l.Var()
+			want := int8(1)
+			if l < 0 {
+				want = -1
+			}
+			switch assign[v] {
+			case 0:
+				assign[v] = want
+				queue = append(queue, l)
+				return true
+			case want:
+				return true
+			default:
+				return false
+			}
+		}
+		for _, l := range seed {
+			if !enqueue(l) {
+				return true
+			}
+		}
+		value := func(l cnf.Lit) int8 {
+			a := assign[l.Var()]
+			if l < 0 {
+				return -a
+			}
+			return a
+		}
+		// Initial pass for pre-existing units under `fixed`.
+		for _, c := range f.Clauses {
+			sat, unset, unit := false, 0, cnf.Lit(0)
+			for _, l := range c {
+				switch value(l) {
+				case 1:
+					sat = true
+				case 0:
+					unset++
+					unit = l
+				}
+				if sat || unset > 1 {
+					break
+				}
+			}
+			if sat || unset > 1 {
+				continue
+			}
+			if unset == 0 {
+				return true
+			}
+			if !enqueue(unit) {
+				return true
+			}
+		}
+		for qi := 0; qi < len(queue); qi++ {
+			p := queue[qi]
+			for _, ci := range occ[idx(-p)] {
+				c := f.Clauses[ci]
+				sat, unset, unit := false, 0, cnf.Lit(0)
+				for _, l := range c {
+					switch value(l) {
+					case 1:
+						sat = true
+					case 0:
+						unset++
+						unit = l
+					}
+					if sat || unset > 1 {
+						break
+					}
+				}
+				if sat || unset > 1 {
+					continue
+				}
+				if unset == 0 {
+					return true
+				}
+				if !enqueue(unit) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// First make sure the fixed set includes the formula's own units.
+	if propagate(nil) {
+		return nil, true
+	}
+
+	probes := 0
+	changed := true
+	for changed && probes < maxProbes {
+		changed = false
+		for v := 1; v <= f.NumVars && probes < maxProbes; v++ {
+			if fixed[v] != 0 {
+				continue
+			}
+			l := cnf.Lit(v)
+			failPos := propagate([]cnf.Lit{l})
+			probes++
+			failNeg := false
+			if probes < maxProbes {
+				failNeg = propagate([]cnf.Lit{-l})
+				probes++
+			}
+			switch {
+			case failPos && failNeg:
+				return units, true
+			case failPos:
+				fixed[v] = -1
+				units = append(units, -l)
+				changed = true
+			case failNeg:
+				fixed[v] = 1
+				units = append(units, l)
+				changed = true
+			}
+			if changed && propagate(nil) {
+				return units, true
+			}
+		}
+	}
+	return units, false
+}

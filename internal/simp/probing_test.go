@@ -1,0 +1,113 @@
+package simp
+
+import (
+	"testing"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/gen"
+	"neuroselect/internal/solver"
+)
+
+func TestFailedLiteralBasic(t *testing.T) {
+	// (¬x1∨x2) ∧ (¬x1∨¬x2): assuming x1 propagates both x2 and ¬x2 →
+	// conflict → unit ¬x1.
+	f := cnf.New(2)
+	f.MustAddClause(-1, 2)
+	f.MustAddClause(-1, -2)
+	units, unsat := FailedLiteralProbe(f, 0)
+	if unsat {
+		t.Fatal("formula is satisfiable")
+	}
+	found := false
+	for _, u := range units {
+		if u == -1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("units %v must contain -1", units)
+	}
+}
+
+func TestFailedLiteralRefutes(t *testing.T) {
+	// Both polarities of x1 fail: UNSAT detected by probing alone.
+	f := cnf.New(2)
+	f.MustAddClause(-1, 2)
+	f.MustAddClause(-1, -2)
+	f.MustAddClause(1, 2)
+	f.MustAddClause(1, -2)
+	_, unsat := FailedLiteralProbe(f, 0)
+	if !unsat {
+		t.Fatal("probing should refute this formula")
+	}
+}
+
+func TestFailedLiteralFixpoint(t *testing.T) {
+	// Learning ¬x1 enables a second-round failure of x2:
+	// x1 fails as above; with ¬x1 fixed, (x1∨¬x2∨x3) ∧ (x1∨¬x2∨¬x3) makes
+	// x2 fail too.
+	f := cnf.New(3)
+	f.MustAddClause(-1, 2)
+	f.MustAddClause(-1, -2)
+	f.MustAddClause(1, -2, 3)
+	f.MustAddClause(1, -2, -3)
+	units, unsat := FailedLiteralProbe(f, 0)
+	if unsat {
+		t.Fatal("satisfiable")
+	}
+	want := map[cnf.Lit]bool{}
+	for _, u := range units {
+		want[u] = true
+	}
+	if !want[-1] || !want[-2] {
+		t.Fatalf("units %v must contain -1 and -2", units)
+	}
+}
+
+// TestProbingSoundness: units discovered by probing must be implied — the
+// formula conjoined with the negation of any discovered unit is UNSAT, and
+// conjoined with all units it is equisatisfiable.
+func TestProbingSoundness(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		inst := gen.RandomKSAT(20, 85, 3, seed)
+		units, unsat := FailedLiteralProbe(inst.F, 0)
+		direct, err := solver.Solve(inst.F, solver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if unsat {
+			if direct.Status != solver.Unsat {
+				t.Fatalf("%s: probing refuted a %v formula", inst.Name, direct.Status)
+			}
+			continue
+		}
+		for _, u := range units {
+			res, err := solver.SolveAssuming(inst.F, []cnf.Lit{-u}, solver.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != solver.Unsat {
+				t.Fatalf("%s: probed unit %v is not implied", inst.Name, u)
+			}
+		}
+		if len(units) > 0 {
+			res, err := solver.SolveAssuming(inst.F, units, solver.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if (res.Status == solver.Sat) != (direct.Status == solver.Sat) {
+				t.Fatalf("%s: adding probed units changed satisfiability", inst.Name)
+			}
+		}
+	}
+}
+
+func TestProbingBudget(t *testing.T) {
+	inst := gen.RandomKSAT(50, 210, 3, 1)
+	// A budget of 1 must not loop forever and returns promptly.
+	units, unsat := FailedLiteralProbe(inst.F, 1)
+	if unsat {
+		t.Fatal("cannot refute within one probe on this instance")
+	}
+	_ = units
+}

@@ -1,0 +1,429 @@
+// Package simp implements CNF preprocessing in the style of SatELite /
+// Kissat's inprocessing front end: top-level unit propagation, pure-literal
+// elimination, tautology and duplicate removal, clause subsumption, and
+// self-subsuming resolution (clause strengthening). Preprocessing preserves
+// satisfiability and, via the recorded trace, models can be extended back
+// to the original variables.
+package simp
+
+import (
+	"sort"
+
+	"neuroselect/internal/cnf"
+)
+
+// Result carries the simplified formula plus the bookkeeping needed to
+// reconstruct models of the original formula.
+type Result struct {
+	F *cnf.Formula
+	// Units are literals fixed at the top level (by unit propagation or
+	// pure-literal elimination); any model of F extended with these
+	// satisfies the original formula.
+	Units []cnf.Lit
+	// ProvenUnsat is set when preprocessing alone refutes the formula.
+	ProvenUnsat bool
+	Stats       Stats
+}
+
+// Stats counts the effect of each technique.
+type Stats struct {
+	UnitsPropagated int
+	PureLiterals    int
+	TautologiesGone int
+	DuplicatesGone  int
+	Subsumed        int
+	Strengthened    int
+	ProbedUnits     int
+	Rounds          int
+	ClausesBefore   int
+	ClausesAfter    int
+	LiteralsRemoved int
+}
+
+// Options bounds the (potentially quadratic) subsumption work.
+type Options struct {
+	// MaxRounds bounds the simplification fixpoint loop (default 10).
+	MaxRounds int
+	// SubsumptionLimit skips subsumption when the clause count exceeds it
+	// (default 50000).
+	SubsumptionLimit int
+	// DisableSubsumption turns off subsumption and strengthening.
+	DisableSubsumption bool
+	// DisablePureLiterals turns off pure-literal elimination.
+	DisablePureLiterals bool
+	// EnableProbing adds a failed-literal probing pass after the main
+	// fixpoint; probed units join Result.Units (off by default — probing
+	// is the most expensive technique).
+	EnableProbing bool
+	// MaxProbes bounds probing when enabled (0 = probing's own default).
+	MaxProbes int
+}
+
+func (o *Options) fillDefaults() {
+	if o.MaxRounds == 0 {
+		o.MaxRounds = 10
+	}
+	if o.SubsumptionLimit == 0 {
+		o.SubsumptionLimit = 50000
+	}
+}
+
+// Simplify preprocesses the formula (the input is not modified).
+func Simplify(f *cnf.Formula, opts Options) Result {
+	opts.fillDefaults()
+	res := Result{Stats: Stats{ClausesBefore: len(f.Clauses)}}
+
+	// Working set: normalized clauses with tautologies dropped.
+	var clauses []cnf.Clause
+	seen := map[string]bool{}
+	for _, c := range f.Clauses {
+		nc, taut := c.Clone().Normalize()
+		if taut {
+			res.Stats.TautologiesGone++
+			continue
+		}
+		k := clauseKey(nc)
+		if seen[k] {
+			res.Stats.DuplicatesGone++
+			continue
+		}
+		seen[k] = true
+		clauses = append(clauses, nc)
+	}
+
+	assign := make([]int8, f.NumVars+1) // 0 unset, +1 true, −1 false
+	setLit := func(l cnf.Lit) bool {    // false on conflict
+		v := l.Var()
+		want := int8(1)
+		if l < 0 {
+			want = -1
+		}
+		if assign[v] == 0 {
+			assign[v] = want
+			res.Units = append(res.Units, l)
+			return true
+		}
+		return assign[v] == want
+	}
+
+	for round := 0; round < opts.MaxRounds; round++ {
+		res.Stats.Rounds = round + 1
+		changed := false
+
+		// Unit propagation at the top level.
+		for {
+			progress := false
+			kept := clauses[:0]
+			for _, c := range clauses {
+				nc, state := applyAssignment(c, assign)
+				switch state {
+				case clauseSat:
+					changed, progress = true, true
+					continue
+				case clauseEmpty:
+					res.ProvenUnsat = true
+					res.F = cnf.New(f.NumVars)
+					res.Stats.ClausesAfter = 0
+					return res
+				case clauseUnit:
+					if !setLit(nc[0]) {
+						res.ProvenUnsat = true
+						res.F = cnf.New(f.NumVars)
+						res.Stats.ClausesAfter = 0
+						return res
+					}
+					res.Stats.UnitsPropagated++
+					changed, progress = true, true
+					continue
+				}
+				if len(nc) < len(c) {
+					res.Stats.LiteralsRemoved += len(c) - len(nc)
+					changed, progress = true, true
+				}
+				kept = append(kept, nc)
+			}
+			clauses = kept
+			if !progress {
+				break
+			}
+		}
+
+		// Pure-literal elimination.
+		if !opts.DisablePureLiterals {
+			polarity := make([]int8, f.NumVars+1) // bitmask: 1 pos, 2 neg
+			for _, c := range clauses {
+				for _, l := range c {
+					if l > 0 {
+						polarity[l.Var()] |= 1
+					} else {
+						polarity[l.Var()] |= 2
+					}
+				}
+			}
+			for v := 1; v <= f.NumVars; v++ {
+				if assign[v] != 0 {
+					continue
+				}
+				switch polarity[v] {
+				case 1:
+					if setLit(cnf.Lit(v)) {
+						res.Stats.PureLiterals++
+						changed = true
+					}
+				case 2:
+					if setLit(-cnf.Lit(v)) {
+						res.Stats.PureLiterals++
+						changed = true
+					}
+				}
+			}
+		}
+
+		// Subsumption and self-subsuming resolution.
+		if !opts.DisableSubsumption && len(clauses) <= opts.SubsumptionLimit {
+			var sub, str int
+			clauses, sub, str = subsumePass(clauses)
+			res.Stats.Subsumed += sub
+			res.Stats.Strengthened += str
+			if sub > 0 || str > 0 {
+				changed = true
+			}
+		}
+
+		if !changed {
+			break
+		}
+	}
+
+	out := cnf.New(f.NumVars)
+	for _, c := range clauses {
+		// Apply the final assignment once more (pure literals may have
+		// satisfied clauses).
+		nc, state := applyAssignment(c, assign)
+		if state == clauseSat {
+			continue
+		}
+		out.Clauses = append(out.Clauses, nc)
+	}
+	res.F = out
+	res.Stats.ClausesAfter = len(out.Clauses)
+
+	if opts.EnableProbing && !res.ProvenUnsat {
+		probed, unsat := FailedLiteralProbe(out, opts.MaxProbes)
+		if unsat {
+			res.ProvenUnsat = true
+			res.F = cnf.New(f.NumVars)
+			res.Stats.ClausesAfter = 0
+			return res
+		}
+		if len(probed) > 0 {
+			// Fold the probed units in with one more simplification round
+			// (without recursive probing).
+			for _, u := range probed {
+				out.Clauses = append(out.Clauses, cnf.Clause{u})
+			}
+			inner := Simplify(out, Options{
+				MaxRounds:           opts.MaxRounds,
+				SubsumptionLimit:    opts.SubsumptionLimit,
+				DisableSubsumption:  opts.DisableSubsumption,
+				DisablePureLiterals: opts.DisablePureLiterals,
+			})
+			res.F = inner.F
+			res.Units = append(res.Units, inner.Units...)
+			res.ProvenUnsat = inner.ProvenUnsat
+			res.Stats.ClausesAfter = inner.Stats.ClausesAfter
+			res.Stats.ProbedUnits = len(probed)
+		}
+	}
+	return res
+}
+
+type clauseState int
+
+const (
+	clauseOpen clauseState = iota
+	clauseSat
+	clauseUnit
+	clauseEmpty
+)
+
+// applyAssignment removes falsified literals and classifies the clause
+// under the partial assignment.
+func applyAssignment(c cnf.Clause, assign []int8) (cnf.Clause, clauseState) {
+	out := make(cnf.Clause, 0, len(c))
+	for _, l := range c {
+		a := assign[l.Var()]
+		if a == 0 {
+			out = append(out, l)
+			continue
+		}
+		if (a == 1) == (l > 0) {
+			return nil, clauseSat
+		}
+		// falsified literal dropped
+	}
+	switch len(out) {
+	case 0:
+		return nil, clauseEmpty
+	case 1:
+		return out, clauseUnit
+	default:
+		return out, clauseOpen
+	}
+}
+
+func clauseKey(c cnf.Clause) string {
+	b := make([]byte, 0, len(c)*4)
+	for _, l := range c {
+		b = appendInt(b, int32(l))
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func appendInt(b []byte, v int32) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	start := len(b)
+	for {
+		b = append(b, byte('0'+v%10))
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	// reverse digits
+	for i, j := start, len(b)-1; i < j; i, j = i+1, j-1 {
+		b[i], b[j] = b[j], b[i]
+	}
+	return b
+}
+
+// subsumePass removes subsumed clauses and strengthens clauses by
+// self-subsuming resolution: if C ∪ {l} ⊇ D ∪ {¬l} resolves, the literal l
+// can be removed from the superset clause.
+func subsumePass(clauses []cnf.Clause) (out []cnf.Clause, subsumed, strengthened int) {
+	// Sort by length so potential subsumers come first.
+	sort.SliceStable(clauses, func(i, j int) bool { return len(clauses[i]) < len(clauses[j]) })
+	// Occurrence index over the shortest literal of each clause would be
+	// the production approach; at this scale a signature-filtered pairwise
+	// pass is sufficient and simpler.
+	sigs := make([]uint64, len(clauses))
+	dead := make([]bool, len(clauses))
+	for i, c := range clauses {
+		sigs[i] = signature(c)
+	}
+	for i := 0; i < len(clauses); i++ {
+		if dead[i] {
+			continue
+		}
+		for j := i + 1; j < len(clauses); j++ {
+			if dead[j] || len(clauses[i]) > len(clauses[j]) {
+				continue
+			}
+			if sigs[i]&^sigs[j] != 0 {
+				continue // signature filter: i has a literal j lacks
+			}
+			switch relation(clauses[i], clauses[j]) {
+			case relSubsumes:
+				dead[j] = true
+				subsumed++
+			case relStrengthens:
+				// clauses[j] loses the literal whose negation is in i.
+				clauses[j] = strengthen(clauses[i], clauses[j])
+				sigs[j] = signature(clauses[j])
+				strengthened++
+			}
+		}
+	}
+	for i, c := range clauses {
+		if !dead[i] {
+			out = append(out, c)
+		}
+	}
+	return out, subsumed, strengthened
+}
+
+// signature is a 64-bit Bloom-style summary over the clause's VARIABLES
+// (not literals): both subsumption and self-subsuming resolution require
+// the smaller clause's variable set to be contained in the larger one's,
+// so a variable-based filter is sound for both relations.
+func signature(c cnf.Clause) uint64 {
+	var s uint64
+	for _, l := range c {
+		h := uint64(l.Var()) * 2654435761 % 64
+		s |= 1 << h
+	}
+	return s
+}
+
+type rel int
+
+const (
+	relNone rel = iota
+	relSubsumes
+	relStrengthens
+)
+
+// relation classifies small-vs-large clause pairs: relSubsumes when small ⊆
+// large; relStrengthens when small ⊆ large after flipping exactly one
+// literal of small.
+func relation(small, large cnf.Clause) rel {
+	inLarge := make(map[cnf.Lit]bool, len(large))
+	for _, l := range large {
+		inLarge[l] = true
+	}
+	flips := 0
+	for _, l := range small {
+		switch {
+		case inLarge[l]:
+		case inLarge[-l]:
+			flips++
+			if flips > 1 {
+				return relNone
+			}
+		default:
+			return relNone
+		}
+	}
+	if flips == 0 {
+		return relSubsumes
+	}
+	return relStrengthens
+}
+
+// strengthen removes from large the negation of the single flipped literal
+// of small.
+func strengthen(small, large cnf.Clause) cnf.Clause {
+	inLarge := make(map[cnf.Lit]bool, len(large))
+	for _, l := range large {
+		inLarge[l] = true
+	}
+	var flipped cnf.Lit
+	for _, l := range small {
+		if inLarge[-l] {
+			flipped = -l
+			break
+		}
+	}
+	out := large[:0]
+	for _, l := range large {
+		if l != flipped {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// ExtendModel lifts a model of the simplified formula to the original
+// variable set by applying the recorded top-level units. Unconstrained
+// variables keep their value from the inner model.
+func ExtendModel(model cnf.Assignment, units []cnf.Lit) cnf.Assignment {
+	out := append(cnf.Assignment(nil), model...)
+	for _, l := range units {
+		out[l.Var()] = l > 0
+	}
+	return out
+}

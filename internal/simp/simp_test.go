@@ -1,0 +1,283 @@
+package simp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/gen"
+	"neuroselect/internal/solver"
+)
+
+func bruteForceSat(f *cnf.Formula) bool {
+	n := f.NumVars
+	if n > 20 {
+		panic("too large")
+	}
+	a := cnf.NewAssignment(n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			a[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if a.Satisfies(f) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestUnitPropagationChain(t *testing.T) {
+	f := cnf.New(4)
+	f.MustAddClause(1)
+	f.MustAddClause(-1, 2)
+	f.MustAddClause(-2, 3)
+	f.MustAddClause(-3, 4)
+	res := Simplify(f, Options{})
+	if res.ProvenUnsat {
+		t.Fatal("chain is SAT")
+	}
+	if len(res.F.Clauses) != 0 {
+		t.Fatalf("chain should fully propagate, %d clauses left", len(res.F.Clauses))
+	}
+	if len(res.Units) != 4 {
+		t.Fatalf("units = %v", res.Units)
+	}
+	model := ExtendModel(cnf.NewAssignment(4), res.Units)
+	if !model.Satisfies(f) {
+		t.Fatal("extended model must satisfy original")
+	}
+}
+
+func TestTopLevelConflict(t *testing.T) {
+	f := cnf.New(1)
+	f.MustAddClause(1)
+	f.MustAddClause(-1)
+	res := Simplify(f, Options{})
+	if !res.ProvenUnsat {
+		t.Fatal("contradictory units must refute")
+	}
+}
+
+func TestPureLiteralElimination(t *testing.T) {
+	// x1 appears only positively: pure.
+	f := cnf.New(3)
+	f.MustAddClause(1, 2)
+	f.MustAddClause(1, -3)
+	f.MustAddClause(2, 3)
+	res := Simplify(f, Options{})
+	if res.Stats.PureLiterals == 0 {
+		t.Fatal("expected pure-literal elimination")
+	}
+	model := ExtendModel(res.anyModel(t, f.NumVars), res.Units)
+	if !model.Satisfies(f) {
+		t.Fatal("model extension after pure elimination")
+	}
+}
+
+// anyModel solves the simplified residue by brute force for testing.
+func (r Result) anyModel(t *testing.T, numVars int) cnf.Assignment {
+	t.Helper()
+	a := cnf.NewAssignment(numVars)
+	if len(r.F.Clauses) == 0 {
+		return a
+	}
+	for mask := 0; mask < 1<<uint(numVars); mask++ {
+		for v := 1; v <= numVars; v++ {
+			a[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if a.Satisfies(r.F) {
+			return a
+		}
+	}
+	t.Fatal("residue unsatisfiable")
+	return nil
+}
+
+func TestSubsumption(t *testing.T) {
+	f := cnf.New(3)
+	f.MustAddClause(1, 2)
+	f.MustAddClause(1, 2, 3) // subsumed
+	res := Simplify(f, Options{DisablePureLiterals: true})
+	if res.Stats.Subsumed != 1 {
+		t.Fatalf("subsumed = %d", res.Stats.Subsumed)
+	}
+	if len(res.F.Clauses) != 1 {
+		t.Fatalf("clauses = %d", len(res.F.Clauses))
+	}
+}
+
+func TestSelfSubsumingResolution(t *testing.T) {
+	// (x1∨x2) and (¬x1∨x2∨x3): resolving on x1 gives (x2∨x3) ⊂ the second
+	// clause → strengthen it to (x2∨x3).
+	f := cnf.New(3)
+	f.MustAddClause(1, 2)
+	f.MustAddClause(-1, 2, 3)
+	res := Simplify(f, Options{DisablePureLiterals: true})
+	if res.Stats.Strengthened == 0 {
+		t.Fatal("expected strengthening")
+	}
+	for _, c := range res.F.Clauses {
+		if len(c) > 2 {
+			t.Fatalf("clause %v not strengthened", c)
+		}
+	}
+}
+
+func TestTautologyAndDuplicateRemoval(t *testing.T) {
+	f := cnf.New(2)
+	f.MustAddClause(1, -1)
+	f.MustAddClause(1, 2)
+	f.MustAddClause(2, 1)
+	res := Simplify(f, Options{DisablePureLiterals: true, DisableSubsumption: true})
+	if res.Stats.TautologiesGone != 1 || res.Stats.DuplicatesGone != 1 {
+		t.Fatalf("stats = %+v", res.Stats)
+	}
+}
+
+// TestEquisatisfiabilityProperty is the core invariant: simplification
+// never changes satisfiability, and SAT models extend to the original.
+func TestEquisatisfiabilityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 150; trial++ {
+		n := 3 + rng.Intn(8)
+		m := 1 + rng.Intn(5*n)
+		inst := gen.RandomKSAT(n, m, 2+rng.Intn(2), int64(trial))
+		want := bruteForceSat(inst.F)
+		res := Simplify(inst.F, Options{})
+		if res.ProvenUnsat {
+			if want {
+				t.Fatalf("%s: simplifier refuted a SAT formula", inst.Name)
+			}
+			continue
+		}
+		got := bruteForceSat(res.F)
+		if got != want {
+			t.Fatalf("%s: satisfiability changed: %v -> %v", inst.Name, want, got)
+		}
+		if got {
+			inner := res.anyModel(t, inst.F.NumVars)
+			model := ExtendModel(inner, res.Units)
+			if !model.Satisfies(inst.F) {
+				t.Fatalf("%s: extended model does not satisfy original", inst.Name)
+			}
+		}
+	}
+}
+
+// TestSimplifyThenSolveAgrees cross-checks preprocessing + CDCL against
+// plain CDCL on larger instances.
+func TestSimplifyThenSolveAgrees(t *testing.T) {
+	insts := []gen.Instance{
+		gen.RandomKSAT(50, 210, 3, 1),
+		gen.Pigeonhole(5),
+		gen.Tseitin(12, 3, false, 2),
+		gen.Miter(6, 30, false, 3),
+		gen.NQueens(6),
+	}
+	for _, in := range insts {
+		direct, err := solver.Solve(in.F, solver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Simplify(in.F, Options{})
+		if res.ProvenUnsat {
+			if direct.Status != solver.Unsat {
+				t.Fatalf("%s: preprocessing refuted but solver says %v", in.Name, direct.Status)
+			}
+			continue
+		}
+		after, err := solver.Solve(res.F, solver.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Status != direct.Status {
+			t.Fatalf("%s: %v after simplify vs %v direct", in.Name, after.Status, direct.Status)
+		}
+		if after.Status == solver.Sat {
+			model := ExtendModel(after.Model, res.Units)
+			if !model.Satisfies(in.F) {
+				t.Fatalf("%s: extended model fails", in.Name)
+			}
+		}
+	}
+}
+
+func TestQuickCheckStatsConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		inst := gen.RandomKSAT(8, 25, 3, seed)
+		res := Simplify(inst.F, Options{})
+		s := res.Stats
+		return s.ClausesAfter <= s.ClausesBefore && s.Rounds >= 1 &&
+			(res.ProvenUnsat || res.F.Validate() == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyFormula(t *testing.T) {
+	res := Simplify(cnf.New(0), Options{})
+	if res.ProvenUnsat || len(res.F.Clauses) != 0 {
+		t.Fatal("empty formula")
+	}
+}
+
+func TestSimplifyWithProbing(t *testing.T) {
+	// The probing fixpoint example from probing_test: Simplify with
+	// probing enabled must discover and apply those units.
+	f := cnf.New(3)
+	f.MustAddClause(-1, 2)
+	f.MustAddClause(-1, -2)
+	f.MustAddClause(1, -2, 3)
+	f.MustAddClause(1, -2, -3)
+	// Subsumption alone would already strengthen this example to units, so
+	// disable it to isolate the probing path.
+	res := Simplify(f, Options{EnableProbing: true, DisableSubsumption: true})
+	if res.ProvenUnsat {
+		t.Fatal("satisfiable")
+	}
+	if res.Stats.ProbedUnits == 0 {
+		t.Fatal("probing found nothing")
+	}
+	fixed := map[cnf.Lit]bool{}
+	for _, u := range res.Units {
+		fixed[u] = true
+	}
+	if !fixed[-1] || !fixed[-2] {
+		t.Fatalf("units %v must fix ¬x1 and ¬x2", res.Units)
+	}
+	// Equisatisfiability still holds.
+	for seed := int64(0); seed < 20; seed++ {
+		inst := gen.RandomKSAT(10, 35, 3, seed)
+		want := bruteForceSat(inst.F)
+		pres := Simplify(inst.F, Options{EnableProbing: true})
+		if pres.ProvenUnsat {
+			if want {
+				t.Fatalf("%s: probing refuted SAT formula", inst.Name)
+			}
+			continue
+		}
+		if got := bruteForceSat(pres.F); got != want {
+			t.Fatalf("%s: satisfiability changed", inst.Name)
+		}
+		if want {
+			inner := pres.anyModel(t, inst.F.NumVars)
+			if !ExtendModel(inner, pres.Units).Satisfies(inst.F) {
+				t.Fatalf("%s: model extension with probing", inst.Name)
+			}
+		}
+	}
+}
+
+func TestProbingRefutesViaSimplify(t *testing.T) {
+	f := cnf.New(2)
+	f.MustAddClause(-1, 2)
+	f.MustAddClause(-1, -2)
+	f.MustAddClause(1, 2)
+	f.MustAddClause(1, -2)
+	res := Simplify(f, Options{EnableProbing: true})
+	if !res.ProvenUnsat {
+		t.Fatal("probing-backed simplify should refute")
+	}
+}

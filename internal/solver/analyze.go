@@ -1,0 +1,185 @@
+package solver
+
+// analyze derives a first-UIP learned clause from the conflict, minimizes
+// it, and returns the clause (asserting literal first), the backjump level,
+// and the clause's glue (LBD). It bumps variable and clause activities and
+// refreshes the glue of learned reason clauses it traverses (Glucose-style
+// glue improvement).
+func (s *Solver) analyze(conflict *clause) (learnt []lit, backLvl int, glue int) {
+	learnt = append(learnt, litUndef) // placeholder for the asserting literal
+	counter := 0
+	idx := len(s.trail) - 1
+	var p lit = litUndef
+	c := conflict
+	curLvl := int32(s.decisionLevel())
+
+	for {
+		if c.learned {
+			s.bumpClause(c)
+			if g := s.computeGlue(c.lits); g < int(c.glue) {
+				c.glue = int32(g)
+			}
+		}
+		start := 0
+		if p != litUndef {
+			start = 1 // skip the asserting position; c.lits[0] == p
+		}
+		for j := start; j < len(c.lits); j++ {
+			q := c.lits[j]
+			v := q.v()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == curLvl {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Select next literal on the trail that participated.
+		for !s.seen[s.trail[idx].v()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.v()
+		s.seen[v] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		c = s.reason[v]
+		// Reasons must exist for propagated literals above the first UIP.
+		if c == nil {
+			panic("solver: missing reason during conflict analysis")
+		}
+		if c.lits[0] != p {
+			// Normalize so the propagated literal is first.
+			for k := 1; k < len(c.lits); k++ {
+				if c.lits[k] == p {
+					c.lits[0], c.lits[k] = c.lits[k], c.lits[0]
+					break
+				}
+			}
+		}
+	}
+	learnt[0] = p.not()
+
+	// Mark the remaining learnt literals as seen for minimization.
+	for _, l := range learnt[1:] {
+		s.seen[l.v()] = true
+	}
+	learnt = s.minimize(learnt)
+
+	// Clear seen flags.
+	for _, l := range learnt {
+		s.seen[l.v()] = false
+	}
+
+	// Find the backjump level: the highest level among learnt[1:].
+	backLvl = 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].v()] > s.level[learnt[maxI].v()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		backLvl = int(s.level[learnt[1].v()])
+	}
+	glue = s.computeGlue(learnt)
+	return learnt, backLvl, glue
+}
+
+// computeGlue counts distinct nonzero decision levels among the literals
+// (the LBD measure).
+func (s *Solver) computeGlue(lits []lit) int {
+	s.analyzeCt++
+	g := 0
+	for _, l := range lits {
+		lvl := s.level[l.v()]
+		if lvl == 0 {
+			continue
+		}
+		if s.analyzeTS[lvl%int32(len(s.analyzeTS))] != s.analyzeCt {
+			s.analyzeTS[lvl%int32(len(s.analyzeTS))] = s.analyzeCt
+			g++
+		}
+	}
+	return g
+}
+
+// minimize removes literals from the learnt clause that are implied by the
+// remainder (recursive reason-side subsumption, as in MiniSat's deep
+// minimization). The seen flags of all learnt literals must be set on entry
+// and remain set for the surviving literals on exit.
+func (s *Solver) minimize(learnt []lit) []lit {
+	out := learnt[:1]
+	var extra []int // vars speculatively marked by litRedundant, to clear
+	for _, l := range learnt[1:] {
+		if s.reason[l.v()] == nil {
+			out = append(out, l)
+			continue
+		}
+		red, marked := s.litRedundant(l)
+		if red {
+			extra = append(extra, marked...)
+			s.seen[l.v()] = false
+			s.stats.MinimizedLits++
+		} else {
+			out = append(out, l)
+		}
+	}
+	for _, v := range extra {
+		s.seen[v] = false
+	}
+	return out
+}
+
+// litRedundant reports whether literal l is implied by the seen literals,
+// walking the implication graph through reasons with an explicit stack. On
+// success it returns the variables it speculatively marked (the caller
+// clears them after the whole minimization pass, so they memoize across
+// calls); on failure it undoes its marks itself and returns nil.
+func (s *Solver) litRedundant(l lit) (bool, []int) {
+	type frame struct {
+		c *clause
+		i int
+	}
+	var stack []frame
+	var marked []int // speculatively marked variables for rollback
+	c := s.reason[l.v()]
+	i := 0
+	for {
+		if i == len(c.lits) {
+			if len(stack) == 0 {
+				return true, marked
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			c, i = top.c, top.i
+			continue
+		}
+		q := c.lits[i]
+		i++
+		v := q.v()
+		if s.seen[v] || s.level[v] == 0 {
+			continue
+		}
+		r := s.reason[v]
+		if r == nil {
+			// Reached a decision not in the clause: not redundant; undo.
+			for _, mv := range marked {
+				s.seen[mv] = false
+			}
+			return false, nil
+		}
+		s.seen[v] = true
+		marked = append(marked, v)
+		stack = append(stack, frame{c, i})
+		c, i = r, 0
+	}
+}

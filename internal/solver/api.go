@@ -1,0 +1,45 @@
+package solver
+
+import (
+	"fmt"
+
+	"neuroselect/internal/cnf"
+)
+
+// Result bundles the outcome of a one-shot solve.
+type Result struct {
+	Status Status
+	Model  cnf.Assignment // valid when Status == Sat
+	Stats  Stats
+}
+
+// Solve builds a solver for the formula with the given options, runs it to
+// completion (or budget), and returns the result.
+func Solve(f *cnf.Formula, opts Options) (Result, error) {
+	s, err := New(f, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	st := s.Solve()
+	res := Result{Status: st, Stats: s.Stats()}
+	if st == Sat {
+		res.Model = s.Model()
+		if !res.Model.Satisfies(f) {
+			return res, fmt.Errorf("solver: internal error: model does not satisfy formula")
+		}
+	}
+	return res, nil
+}
+
+// SolveAssuming solves the formula under the given assumption literals by
+// conjoining them as unit clauses. It is a one-shot convenience for
+// incremental-style queries such as equivalence checking.
+func SolveAssuming(f *cnf.Formula, assumptions []cnf.Lit, opts Options) (Result, error) {
+	g := f.Clone()
+	for _, a := range assumptions {
+		if err := g.AddClause(a); err != nil {
+			return Result{}, err
+		}
+	}
+	return Solve(g, opts)
+}

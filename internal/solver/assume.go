@@ -1,0 +1,212 @@
+package solver
+
+import (
+	"fmt"
+
+	"neuroselect/internal/cnf"
+)
+
+// SolveUnderAssumptions runs the CDCL search with the given literals fixed
+// as pseudo-decisions (MiniSat's incremental interface). On Unsat it also
+// returns the subset of assumptions the refutation actually used (the
+// "failed assumptions" / unsat core over assumptions); the solver remains
+// usable for further calls with different assumptions.
+func (s *Solver) SolveUnderAssumptions(assumptions []cnf.Lit) (Status, []cnf.Lit) {
+	if !s.ok {
+		return Unsat, nil
+	}
+	s.cancelUntil(0)
+	if conflict := s.propagate(); conflict != nil {
+		s.ok = false
+		return Unsat, nil
+	}
+	internal := make([]lit, len(assumptions))
+	for i, a := range assumptions {
+		internal[i] = fromCNF(a)
+		if internal[i].v() >= s.numVars {
+			// Assumption over an unknown variable is trivially free.
+			internal[i] = litUndef
+		}
+	}
+	restarts := int64(0)
+	for {
+		limit := luby(2, restarts) * s.opts.RestartBase
+		st, core := s.searchAssuming(internal, limit)
+		if st != Unknown {
+			s.cancelUntil(0)
+			return st, core
+		}
+		if s.budget != nil {
+			s.cancelUntil(0)
+			return Unknown, nil
+		}
+		restarts++
+		s.stats.Restarts++
+	}
+}
+
+// searchAssuming is the assumption-aware search loop: before each free
+// decision it first enqueues the next unassigned assumption at a fresh
+// level; a conflict that backtracks into the assumption prefix triggers
+// final-conflict analysis, producing the failed-assumption core.
+func (s *Solver) searchAssuming(assumptions []lit, conflictLimit int64) (Status, []cnf.Lit) {
+	conflictsHere := int64(0)
+	for {
+		conflict := s.propagate()
+		if conflict != nil {
+			s.stats.Conflicts++
+			conflictsHere++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat, nil
+			}
+			if s.decisionLevel() <= len(assumptions) {
+				// The conflict depends only on assumptions: extract the
+				// failed subset.
+				return Unsat, s.analyzeFinal(conflict, assumptions)
+			}
+			learnt, backLvl, glue := s.analyze(conflict)
+			// Never backtrack into the middle of the assumption prefix
+			// with a clause asserting there; clamp to the prefix boundary
+			// is handled naturally because analyze computes the correct
+			// assertion level.
+			s.cancelUntil(backLvl)
+			s.install(learnt, glue)
+			s.decayVar()
+			s.decayClause()
+			if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+				s.budget = errBudgetConflicts()
+				return Unknown, nil
+			}
+			if s.stats.Conflicts >= s.reduceLimit {
+				s.reduce()
+			}
+			continue
+		}
+		if s.opts.MaxPropagations > 0 && s.stats.Propagations >= s.opts.MaxPropagations {
+			s.budget = errBudgetPropagations()
+			return Unknown, nil
+		}
+		if conflictsHere >= conflictLimit {
+			s.cancelUntil(0)
+			return Unknown, nil // restart
+		}
+		// Enqueue pending assumptions before free decisions.
+		if lvl := s.decisionLevel(); lvl < len(assumptions) {
+			a := assumptions[lvl]
+			switch {
+			case a == litUndef || s.value(a) == lTrue:
+				// Already satisfied (or a free variable): open an empty
+				// level so level indexing stays aligned with the prefix.
+				s.trailLim = append(s.trailLim, len(s.trail))
+			case s.value(a) == lFalse:
+				// Directly contradicted by propagation from earlier
+				// assumptions: the core is the reason chain of ¬a.
+				return Unsat, s.coreOfFalsified(a, assumptions)
+			default:
+				s.stats.Decisions++
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.enqueue(a, nil)
+			}
+			continue
+		}
+		v := s.pickBranchVar()
+		if v < 0 {
+			s.extractModel()
+			return Sat, nil
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(mkLit(v, !s.phase[v]), nil)
+	}
+}
+
+// analyzeFinal walks the implication graph from a conflict that occurred
+// within the assumption prefix and collects the assumptions it depends on.
+func (s *Solver) analyzeFinal(conflict *clause, assumptions []lit) []cnf.Lit {
+	isAssumption := make(map[lit]bool, len(assumptions))
+	for _, a := range assumptions {
+		if a != litUndef {
+			isAssumption[a] = true
+		}
+	}
+	var core []cnf.Lit
+	seen := make([]bool, s.numVars)
+	var stack []lit
+	for _, l := range conflict.lits {
+		if s.level[l.v()] > 0 {
+			stack = append(stack, l)
+		}
+	}
+	for len(stack) > 0 {
+		l := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := l.v()
+		if seen[v] || s.level[v] == 0 {
+			continue
+		}
+		seen[v] = true
+		if isAssumption[l.not()] {
+			core = append(core, toCNF(l.not()))
+			continue
+		}
+		r := s.reason[v]
+		if r == nil {
+			// A decision that is not an assumption cannot appear below the
+			// assumption prefix; if it does, include it conservatively by
+			// skipping (the conflict was within the prefix, so reasons
+			// bottom out at assumptions or level 0).
+			continue
+		}
+		for _, q := range r.lits[1:] {
+			stack = append(stack, q)
+		}
+	}
+	return core
+}
+
+// coreOfFalsified derives the failed-assumption set when assumption a is
+// already false by propagation from earlier assumptions. The stack holds
+// FALSE literals (as in analyzeFinal): for a false literal q, the true
+// assignment is q.not(), whose provenance is either an assumption or a
+// reason clause.
+func (s *Solver) coreOfFalsified(a lit, assumptions []lit) []cnf.Lit {
+	isAssumption := make(map[lit]bool, len(assumptions))
+	for _, x := range assumptions {
+		if x != litUndef {
+			isAssumption[x] = true
+		}
+	}
+	core := []cnf.Lit{toCNF(a)}
+	seen := make([]bool, s.numVars)
+	seen[a.v()] = true
+	var stack []lit
+	if isAssumption[a.not()] {
+		// Directly contradictory assumption pair {a, ¬a}.
+		core = append(core, toCNF(a.not()))
+		return core
+	}
+	if r := s.reason[a.v()]; r != nil {
+		stack = append(stack, r.lits[1:]...)
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := q.v()
+		if seen[v] || s.level[v] == 0 {
+			continue
+		}
+		seen[v] = true
+		if isAssumption[q.not()] {
+			core = append(core, toCNF(q.not()))
+			continue
+		}
+		if r := s.reason[v]; r != nil {
+			stack = append(stack, r.lits[1:]...)
+		}
+	}
+	return core
+}
+
+func errBudgetConflicts() error    { return fmt.Errorf("%w: conflicts", ErrBudget) }
+func errBudgetPropagations() error { return fmt.Errorf("%w: propagations", ErrBudget) }

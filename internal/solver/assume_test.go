@@ -1,0 +1,189 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/gen"
+)
+
+func TestAssumptionsSatAndBacktrackReuse(t *testing.T) {
+	// (x1 ∨ x2) ∧ (¬x1 ∨ x3): the same solver answers several queries.
+	f := cnf.New(3)
+	f.MustAddClause(1, 2)
+	f.MustAddClause(-1, 3)
+	s, err := New(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.SolveUnderAssumptions([]cnf.Lit{1})
+	if st != Sat {
+		t.Fatalf("assume x1: %v", st)
+	}
+	if !s.Model()[1] || !s.Model()[3] {
+		t.Fatalf("model %v must set x1 and x3", s.Model())
+	}
+	st, _ = s.SolveUnderAssumptions([]cnf.Lit{-1})
+	if st != Sat {
+		t.Fatalf("assume ¬x1: %v", st)
+	}
+	if s.Model()[1] || !s.Model()[2] {
+		t.Fatalf("model %v must clear x1 and set x2", s.Model())
+	}
+	st, _ = s.SolveUnderAssumptions(nil)
+	if st != Sat {
+		t.Fatalf("no assumptions: %v", st)
+	}
+}
+
+func TestAssumptionsUnsatCore(t *testing.T) {
+	// x1 → x2, x2 → x3; assuming {x1, ¬x3, x4} fails, and the core must
+	// contain x1 and ¬x3 but never the irrelevant x4.
+	f := cnf.New(4)
+	f.MustAddClause(-1, 2)
+	f.MustAddClause(-2, 3)
+	s, err := New(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, core := s.SolveUnderAssumptions([]cnf.Lit{1, -3, 4})
+	if st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+	has := map[cnf.Lit]bool{}
+	for _, l := range core {
+		has[l] = true
+	}
+	if !has[1] || !has[-3] {
+		t.Fatalf("core %v must contain 1 and -3", core)
+	}
+	if has[4] {
+		t.Fatalf("core %v must not contain the irrelevant assumption 4", core)
+	}
+	// The formula itself stays satisfiable.
+	st, _ = s.SolveUnderAssumptions(nil)
+	if st != Sat {
+		t.Fatalf("formula without assumptions: %v", st)
+	}
+}
+
+func TestAssumptionsContradictoryPair(t *testing.T) {
+	f := cnf.New(2)
+	f.MustAddClause(1, 2)
+	s, err := New(f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, core := s.SolveUnderAssumptions([]cnf.Lit{2, -2})
+	if st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+	if len(core) == 0 {
+		t.Fatal("empty core for contradictory assumptions")
+	}
+	for _, l := range core {
+		if l.Var() != 2 {
+			t.Fatalf("core %v mentions foreign variable", core)
+		}
+	}
+}
+
+func TestAssumptionsOnUnsatFormula(t *testing.T) {
+	inst := gen.Pigeonhole(4)
+	s, err := New(inst.F, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, _ := s.SolveUnderAssumptions([]cnf.Lit{1})
+	if st != Unsat {
+		t.Fatalf("php-4 under any assumptions: %v", st)
+	}
+}
+
+// TestAssumptionsAgreeWithClauseAddition cross-checks the incremental
+// interface against the one-shot unit-clause encoding on random instances.
+func TestAssumptionsAgreeWithClauseAddition(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 60; trial++ {
+		inst := gen.RandomKSAT(4+rng.Intn(8), 8+rng.Intn(30), 3, int64(trial))
+		nAssume := 1 + rng.Intn(3)
+		var assumptions []cnf.Lit
+		seen := map[int]bool{}
+		for len(assumptions) < nAssume {
+			v := 1 + rng.Intn(inst.F.NumVars)
+			if seen[v] {
+				continue
+			}
+			seen[v] = true
+			l := cnf.Lit(v)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			assumptions = append(assumptions, l)
+		}
+		s, err := New(inst.F, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSt, core := s.SolveUnderAssumptions(assumptions)
+		want, err := SolveAssuming(inst.F, assumptions, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotSt != want.Status {
+			t.Fatalf("%s with %v: incremental %v vs clause-added %v",
+				inst.Name, assumptions, gotSt, want.Status)
+		}
+		if gotSt == Sat {
+			m := s.Model()
+			if !m.Satisfies(inst.F) {
+				t.Fatalf("%s: model invalid", inst.Name)
+			}
+			for _, a := range assumptions {
+				if !m.Value(a) {
+					t.Fatalf("%s: model violates assumption %v", inst.Name, a)
+				}
+			}
+		} else if gotSt == Unsat && len(core) > 0 {
+			// Core soundness: the formula plus ONLY the core assumptions
+			// must already be UNSAT.
+			coreRes, err := SolveAssuming(inst.F, core, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if coreRes.Status != Unsat {
+				t.Fatalf("%s: reported core %v is not refuting", inst.Name, core)
+			}
+			// And every core literal must be one of the assumptions.
+			valid := map[cnf.Lit]bool{}
+			for _, a := range assumptions {
+				valid[a] = true
+			}
+			for _, l := range core {
+				if !valid[l] {
+					t.Fatalf("%s: core literal %v not among assumptions %v", inst.Name, l, assumptions)
+				}
+			}
+		}
+	}
+}
+
+func TestAssumptionsSequentialQueries(t *testing.T) {
+	// Incremental equivalence-checking pattern: one solver, many output
+	// assumptions.
+	inst := gen.Miter(6, 40, false, 9)
+	s, err := New(inst.F, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The miter output is already asserted in the formula; query input
+	// cofactors repeatedly.
+	for v := 1; v <= 4; v++ {
+		stPos, _ := s.SolveUnderAssumptions([]cnf.Lit{cnf.Lit(v)})
+		stNeg, _ := s.SolveUnderAssumptions([]cnf.Lit{-cnf.Lit(v)})
+		if stPos != Unsat || stNeg != Unsat {
+			t.Fatalf("cofactors of an UNSAT formula must stay UNSAT (v=%d: %v/%v)", v, stPos, stNeg)
+		}
+	}
+}

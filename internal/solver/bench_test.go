@@ -1,0 +1,88 @@
+package solver
+
+import (
+	"testing"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/deletion"
+	"neuroselect/internal/gen"
+)
+
+// BenchmarkSolveRandom3SAT measures end-to-end solving of a
+// phase-transition random instance under each deletion policy.
+func BenchmarkSolveRandom3SAT(b *testing.B) {
+	inst := gen.RandomKSAT(120, 511, 3, 7)
+	for _, pol := range []deletion.Policy{deletion.DefaultPolicy{}, deletion.FrequencyPolicy{}} {
+		b.Run(pol.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := Solve(inst.F, Options{Policy: pol, ReduceFirst: 100, ReduceInc: 50})
+				if err != nil || res.Status == Unknown {
+					b.Fatal("solve failed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolvePigeonhole measures a proof-heavy UNSAT instance.
+func BenchmarkSolvePigeonhole(b *testing.B) {
+	inst := gen.Pigeonhole(6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(inst.F, Options{})
+		if err != nil || res.Status != Unsat {
+			b.Fatal("php-6 must be UNSAT")
+		}
+	}
+}
+
+// BenchmarkSolveMiter measures a structured equivalence-checking instance.
+func BenchmarkSolveMiter(b *testing.B) {
+	inst := gen.Miter(10, 150, false, 3)
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(inst.F, Options{})
+		if err != nil || res.Status != Unsat {
+			b.Fatal("equivalent miter must be UNSAT")
+		}
+	}
+}
+
+// BenchmarkPropagationThroughput measures raw BCP on an implication chain:
+// one unit triggers n−1 propagations with no search.
+func BenchmarkPropagationThroughput(b *testing.B) {
+	const n = 5000
+	f := cnf.New(n)
+	f.MustAddClause(1)
+	for i := 1; i < n; i++ {
+		f.MustAddClause(cnf.Lit(-i), cnf.Lit(i+1))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(f, Options{})
+		if err != nil || res.Status != Sat {
+			b.Fatal("chain must be SAT")
+		}
+	}
+}
+
+// BenchmarkReduceCost isolates the clause-database reduction by running a
+// solve whose schedule forces frequent reductions, under both Figure 5
+// scoring layouts.
+func BenchmarkReduceCost(b *testing.B) {
+	inst := gen.RandomKSAT(100, 426, 3, 9)
+	for _, pol := range []deletion.Policy{deletion.DefaultPolicy{}, deletion.FrequencyPolicy{}} {
+		b.Run(pol.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := New(inst.F, Options{Policy: pol, ReduceFirst: 20, ReduceInc: 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Solve()
+				if s.Stats().Reductions == 0 {
+					b.Fatal("schedule should force reductions")
+				}
+			}
+		})
+	}
+}

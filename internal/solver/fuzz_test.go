@@ -1,0 +1,57 @@
+package solver
+
+import (
+	"testing"
+
+	"neuroselect/internal/cnf"
+)
+
+// FuzzSolverAgainstBruteForce decodes the fuzz input as a small CNF and
+// cross-checks the CDCL result against exhaustive search. Encoding: each
+// byte is one literal over 6 variables (bit 7 unused; 0 terminates a
+// clause; value%13==0 also terminates to diversify shapes).
+func FuzzSolverAgainstBruteForce(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 131, 3, 0})
+	f.Add([]byte{1, 0, 129, 0})
+	f.Add([]byte{5, 6, 7, 0, 133, 134, 135, 0, 1, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		const nVars = 6
+		form := cnf.New(nVars)
+		var cur []cnf.Lit
+		for _, b := range raw {
+			if b == 0 {
+				if len(cur) > 0 {
+					form.MustAddClause(cur...)
+					cur = nil
+				}
+				continue
+			}
+			v := int(b&0x7f)%nVars + 1
+			l := cnf.Lit(v)
+			if b&0x80 != 0 {
+				l = -l
+			}
+			cur = append(cur, l)
+		}
+		if len(cur) > 0 {
+			form.MustAddClause(cur...)
+		}
+		if len(form.Clauses) == 0 {
+			return
+		}
+		want := bruteForce(form)
+		res, err := Solve(form, Options{ReduceFirst: 10, ReduceInc: 5})
+		if err != nil {
+			t.Fatalf("solve error: %v", err)
+		}
+		if res.Status == Unknown {
+			t.Fatal("no budget set; Unknown impossible")
+		}
+		if (res.Status == Sat) != want {
+			t.Fatalf("solver %v, brute force %v for %s", res.Status, want, cnf.DIMACSString(form))
+		}
+		if res.Status == Sat && !res.Model.Satisfies(form) {
+			t.Fatal("model does not satisfy")
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package solver
+
+// varHeap is an indexed binary max-heap over variables keyed by activity.
+// It supports decrease/increase-key via the position index, which the
+// solver uses when bumping activities.
+type varHeap struct {
+	act  *[]float64 // shared activity slice (indexed by variable)
+	heap []int      // heap of variables
+	pos  []int      // pos[v] = index of v in heap, or -1
+}
+
+func newVarHeap(act *[]float64, n int) *varHeap {
+	h := &varHeap{act: act, pos: make([]int, n)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *varHeap) less(a, b int) bool { return (*h.act)[a] > (*h.act)[b] }
+
+func (h *varHeap) contains(v int) bool { return h.pos[v] >= 0 }
+
+func (h *varHeap) empty() bool { return len(h.heap) == 0 }
+
+func (h *varHeap) push(v int) {
+	if h.contains(v) {
+		return
+	}
+	h.pos[v] = len(h.heap)
+	h.heap = append(h.heap, v)
+	h.up(h.pos[v])
+}
+
+// pop removes and returns the maximum-activity variable.
+func (h *varHeap) pop() int {
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.pos[h.heap[0]] = 0
+	h.heap = h.heap[:last]
+	h.pos[top] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// update restores heap order for v after its activity increased.
+func (h *varHeap) update(v int) {
+	if h.contains(v) {
+		h.up(h.pos[v])
+	}
+}
+
+// rebuild re-heapifies after a bulk rescale of activities. Rescaling divides
+// every key by the same constant, preserving order, so this is a no-op for
+// correctness, but it is exposed for policies that rewrite activities.
+func (h *varHeap) rebuild() {
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.pos[h.heap[i]] = i
+		i = p
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && h.less(h.heap[r], h.heap[l]) {
+			c = r
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.pos[h.heap[i]] = i
+		i = c
+	}
+	h.heap[i] = v
+	h.pos[v] = i
+}

@@ -1,0 +1,236 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/deletion"
+	"neuroselect/internal/gen"
+)
+
+// checkWatchInvariant verifies that every live clause of length ≥ 2 is
+// present in exactly the two watch lists of its first two literals'
+// negations (lazily removed deleted watchers are ignored).
+func checkWatchInvariant(t *testing.T, s *Solver) {
+	t.Helper()
+	count := map[*clause]int{}
+	where := map[*clause][]lit{}
+	for li, ws := range s.watches {
+		for _, w := range ws {
+			if w.c.deleted {
+				continue
+			}
+			count[w.c]++
+			where[w.c] = append(where[w.c], lit(li))
+		}
+	}
+	check := func(c *clause) {
+		if c.deleted {
+			return
+		}
+		if count[c] != 2 {
+			t.Fatalf("clause %v appears in %d watch lists, want 2", c.lits, count[c])
+		}
+		want := map[lit]bool{c.lits[0].not(): true, c.lits[1].not(): true}
+		for _, li := range where[c] {
+			if !want[li] {
+				t.Fatalf("clause %v watched under wrong literal %v", c.lits, li)
+			}
+		}
+	}
+	for _, c := range s.clauses {
+		check(c)
+	}
+	for _, c := range s.learned {
+		check(c)
+	}
+}
+
+func TestWatchInvariantAfterSolve(t *testing.T) {
+	for _, in := range []gen.Instance{
+		gen.RandomKSAT(60, 255, 3, 21),
+		gen.Pigeonhole(6),
+		gen.Tseitin(16, 3, false, 4),
+	} {
+		s, err := New(in.F, Options{ReduceFirst: 50, ReduceInc: 25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Solve()
+		checkWatchInvariant(t, s)
+	}
+}
+
+func TestReduceKeepsTier1AndReasons(t *testing.T) {
+	inst := gen.RandomKSAT(80, 340, 3, 5)
+	s, err := New(inst.F, Options{ReduceFirst: 30, ReduceInc: 15, Tier1Glue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Solve()
+	if s.stats.Reductions == 0 {
+		t.Skip("no reductions on this instance")
+	}
+	for _, c := range s.learned {
+		if c.deleted && int(c.glue) <= s.opts.Tier1Glue && len(c.lits) > 2 {
+			t.Fatalf("tier-1 clause (glue %d) was deleted", c.glue)
+		}
+		if c.deleted && len(c.lits) <= 2 {
+			t.Fatal("binary learned clause was deleted")
+		}
+	}
+}
+
+func TestPropFreqResetAfterReduce(t *testing.T) {
+	inst := gen.RandomKSAT(80, 340, 3, 6)
+	s, err := New(inst.F, Options{ReduceFirst: 30, ReduceInc: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Solve()
+	if s.stats.Reductions == 0 {
+		t.Skip("no reductions")
+	}
+	// The windowed counters were reset at the last reduction, so their sum
+	// must be strictly less than the cumulative total.
+	var windowed, total uint64
+	for i := range s.propFreq {
+		windowed += s.propFreq[i]
+		total += s.propFreqTotal[i]
+	}
+	if windowed >= total {
+		t.Fatalf("windowed %d should be below cumulative %d after reductions", windowed, total)
+	}
+}
+
+// TestQuickRandomFormulas is a testing/quick property: the solver agrees
+// with brute force on arbitrary small formulas, including degenerate
+// clauses, with every deletion policy.
+func TestQuickRandomFormulas(t *testing.T) {
+	policies := []deletion.Policy{
+		deletion.DefaultPolicy{}, deletion.FrequencyPolicy{},
+		deletion.ActivityPolicy{}, deletion.SizePolicy{},
+	}
+	trial := 0
+	prop := func(seed int64, nRaw, mRaw uint8) bool {
+		trial++
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%10
+		m := int(mRaw) % 40
+		f := cnf.New(n)
+		for i := 0; i < m; i++ {
+			k := 1 + rng.Intn(4)
+			lits := make([]cnf.Lit, k) // duplicates/tautologies allowed
+			for j := range lits {
+				l := cnf.Lit(1 + rng.Intn(n))
+				if rng.Intn(2) == 0 {
+					l = -l
+				}
+				lits[j] = l
+			}
+			f.MustAddClause(lits...)
+		}
+		want := bruteForce(f)
+		res, err := Solve(f, Options{Policy: policies[trial%len(policies)], ReduceFirst: 15, ReduceInc: 10})
+		if err != nil || res.Status == Unknown {
+			return false
+		}
+		if (res.Status == Sat) != want {
+			return false
+		}
+		return res.Status != Sat || res.Model.Satisfies(f)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 250}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLearnedClauseGluesAreBounded(t *testing.T) {
+	inst := gen.RandomKSAT(60, 255, 3, 7)
+	s, err := New(inst.F, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Solve()
+	for _, c := range s.learned {
+		if c.deleted {
+			continue
+		}
+		if int(c.glue) > len(c.lits) {
+			t.Fatalf("glue %d exceeds clause size %d", c.glue, len(c.lits))
+		}
+		if c.glue < 1 {
+			t.Fatalf("glue %d below 1 for clause %v", c.glue, c.lits)
+		}
+	}
+}
+
+func TestPhaseSavingPersists(t *testing.T) {
+	// After SAT, re-solving the same solver state is not supported, but
+	// phases should reflect the found model's polarities for assigned
+	// vars.
+	inst := gen.RandomKSAT(40, 150, 3, 8)
+	s, err := New(inst.F, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Sat {
+		t.Skip("instance not SAT")
+	}
+	// All variables assigned at SAT; model extracted.
+	m := s.Model()
+	if !m.Satisfies(inst.F) {
+		t.Fatal("model check")
+	}
+}
+
+func TestUnknownLeavesNoModel(t *testing.T) {
+	inst := gen.Pigeonhole(8)
+	res, err := Solve(inst.F, Options{MaxConflicts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unknown {
+		t.Fatal("expected UNKNOWN")
+	}
+	if res.Model != nil {
+		t.Fatal("no model should be produced on UNKNOWN")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Fatal("status strings")
+	}
+}
+
+func TestOptionsDefaultsFilled(t *testing.T) {
+	var o Options
+	o.fillDefaults()
+	if o.Policy == nil || o.VarDecay == 0 || o.RestartBase == 0 ||
+		o.ReduceFirst == 0 || o.ReduceFraction == 0 || o.Tier1Glue == 0 || o.Alpha == 0 {
+		t.Fatalf("defaults not filled: %+v", o)
+	}
+}
+
+func TestLearnedCountReflectsDeletions(t *testing.T) {
+	inst := gen.Pigeonhole(6)
+	s, err := New(inst.F, Options{ReduceFirst: 30, ReduceInc: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Solve()
+	live := int64(s.LearnedClauseCount())
+	st := s.Stats()
+	// learned = units + live-or-deleted long clauses; deleted counted
+	// separately.
+	if live > st.Learned-st.UnitsLearned {
+		t.Fatalf("live %d exceeds non-unit learned %d", live, st.Learned-st.UnitsLearned)
+	}
+	if st.Deleted > 0 && live+st.Deleted+st.UnitsLearned != st.Learned {
+		t.Fatalf("bookkeeping: live %d + deleted %d + units %d != learned %d",
+			live, st.Deleted, st.UnitsLearned, st.Learned)
+	}
+}

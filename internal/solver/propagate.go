@@ -1,0 +1,67 @@
+package solver
+
+// propagate performs Boolean constraint propagation over the two-watched-
+// literal scheme until fixpoint or conflict. It returns the conflicting
+// clause, or nil. Deleted clauses are dropped lazily from watch lists as
+// they are encountered.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		// Clauses watching ¬p: p just became true, so their watched literal
+		// ¬p became false and they must be serviced.
+		ws := s.watches[p]
+		kept := ws[:0]
+		var conflict *clause
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if w.c.deleted {
+				continue // lazy removal
+			}
+			// Fast path: the blocker literal already satisfies the clause.
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			falseLit := p.not()
+			// Ensure the false watched literal sits at lits[1].
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].not()] = append(s.watches[c.lits[1].not()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue // watcher moved to another list
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.value(first) == lFalse {
+				conflict = c
+				// Copy the remaining watchers back and stop.
+				kept = append(kept, ws[i+1:]...)
+				break
+			}
+			s.enqueue(first, c)
+		}
+		s.watches[p] = kept
+		if conflict != nil {
+			s.qhead = len(s.trail)
+			return conflict
+		}
+	}
+	return nil
+}

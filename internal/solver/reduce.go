@@ -1,0 +1,96 @@
+package solver
+
+import (
+	"sort"
+
+	"neuroselect/internal/deletion"
+)
+
+// reduce deletes the lowest-ranked fraction of reducible learned clauses
+// under the configured deletion policy, then resets the per-variable
+// propagation-frequency window (Eq. 2 counts "since the last clause
+// deletion").
+func (s *Solver) reduce() {
+	s.stats.Reductions++
+	s.reduceLimit = s.stats.Conflicts + s.opts.ReduceFirst + s.opts.ReduceInc*s.stats.Reductions
+
+	// Protect reason clauses of the current trail.
+	for _, l := range s.trail {
+		if r := s.reason[l.v()]; r != nil {
+			r.protect = true
+		}
+	}
+
+	// Gather reducible candidates: learned, live, above the tier-1 glue
+	// threshold, not binary, not currently a reason.
+	candidates := s.learned[:0:0]
+	live := s.learned[:0]
+	for _, c := range s.learned {
+		if c.deleted {
+			continue
+		}
+		live = append(live, c)
+		if c.protect || int(c.glue) <= s.opts.Tier1Glue || len(c.lits) <= 2 {
+			continue
+		}
+		candidates = append(candidates, c)
+	}
+	s.learned = live
+
+	if len(candidates) > 0 {
+		fmax := uint64(0)
+		if s.opts.Policy.NeedsFrequency() {
+			for _, f := range s.propFreq {
+				if f > fmax {
+					fmax = f
+				}
+			}
+		}
+		scores := make(map[*clause]uint64, len(candidates))
+		for _, c := range candidates {
+			scores[c] = s.scoreClause(c, fmax)
+		}
+		sort.SliceStable(candidates, func(i, j int) bool {
+			return scores[candidates[i]] < scores[candidates[j]]
+		})
+		nDelete := int(float64(len(candidates)) * s.opts.ReduceFraction)
+		for _, c := range candidates[:nDelete] {
+			c.deleted = true // watchers are dropped lazily in propagate
+			s.stats.Deleted++
+			if s.opts.Proof != nil {
+				s.opts.Proof.DeleteClause(toCNFSlice(c.lits))
+			}
+		}
+	}
+
+	// Clear protection marks and reset the frequency window.
+	for _, l := range s.trail {
+		if r := s.reason[l.v()]; r != nil {
+			r.protect = false
+		}
+	}
+	for i := range s.propFreq {
+		s.propFreq[i] = 0
+	}
+}
+
+// scoreClause evaluates the deletion policy on a clause, computing the
+// Eq. 2 frequency feature when the policy requires it.
+func (s *Solver) scoreClause(c *clause, fmax uint64) uint64 {
+	ci := deletion.ClauseInfo{
+		Glue:     int(c.glue),
+		Size:     len(c.lits),
+		Activity: c.act,
+	}
+	if s.opts.Policy.NeedsFrequency() && fmax > 0 {
+		threshold := s.opts.Alpha * float64(fmax)
+		n := 0
+		for _, l := range c.lits {
+			if float64(s.propFreq[l.v()]) > threshold {
+				n++
+			}
+		}
+		ci.Frequency = n
+	}
+	return s.opts.Policy.Score(ci)
+}

@@ -1,0 +1,551 @@
+// Package solver implements a conflict-driven clause-learning (CDCL) SAT
+// solver in the style of Kissat/MiniSat: two-watched-literal propagation,
+// EVSIDS decision heuristic with phase saving, first-UIP conflict analysis
+// with recursive clause minimization, Luby restarts, and a tiered learned-
+// clause database reduced periodically under a pluggable deletion policy.
+//
+// The solver tracks, per variable, how often Boolean constraint propagation
+// assigned it since the last clause deletion; this feeds the paper's Eq. 2
+// propagation-frequency deletion criterion, and a cumulative counter feeds
+// the Figure 3 distribution.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/deletion"
+)
+
+// Status is the outcome of a solve call.
+type Status int8
+
+const (
+	// Unknown means a resource budget (conflicts or propagations) expired.
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula was proven unsatisfiable.
+	Unsat
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// Options configures solver behaviour. The zero value is usable; New fills
+// unset fields with defaults tuned for the laptop-scale instances of this
+// reproduction.
+type Options struct {
+	// Policy ranks learned clauses during reduction. Default: the Kissat
+	// default policy (glue, then size).
+	Policy deletion.Policy
+	// Alpha is the Eq. 2 threshold factor (paper: 4/5).
+	Alpha float64
+	// MaxConflicts aborts the search with Unknown after this many conflicts
+	// (0 = unlimited). It is the reproduction's analogue of the paper's
+	// 5,000-second timeout.
+	MaxConflicts int64
+	// MaxPropagations aborts with Unknown after this many propagations
+	// (0 = unlimited).
+	MaxPropagations int64
+	// VarDecay is the EVSIDS activity decay factor (default 0.95).
+	VarDecay float64
+	// ClauseDecay is the clause-activity decay factor (default 0.999).
+	ClauseDecay float64
+	// RestartBase scales the Luby restart sequence (default 128 conflicts).
+	RestartBase int64
+	// ReduceFirst is the conflict count before the first reduction
+	// (default 600).
+	ReduceFirst int64
+	// ReduceInc is the additive growth of the reduction interval
+	// (default 300).
+	ReduceInc int64
+	// ReduceFraction is the fraction of reducible clauses deleted per
+	// reduction (default 0.5).
+	ReduceFraction float64
+	// Tier1Glue is the glue value at or below which a learned clause is
+	// non-reducible and always kept (default 2, as in Kissat's tier-1).
+	Tier1Glue int
+	// InitialPhase is the saved-phase default for unassigned variables
+	// (false, matching solvers that prefer negative polarity).
+	InitialPhase bool
+	// Proof, when non-nil, receives a DRAT proof stream: every learned
+	// clause as an addition and every reduced clause as a deletion. For
+	// UNSAT runs the stream (followed by unit propagation on the remaining
+	// set) certifies the result; see the drat package's checker.
+	Proof ProofLogger
+	// Interrupt, when non-nil, is polled once per conflict; returning true
+	// aborts the search with Unknown. Used by parallel portfolio racing.
+	Interrupt func() bool
+}
+
+// ProofLogger receives clause additions and deletions in DIMACS literals;
+// drat.Writer implements it.
+type ProofLogger interface {
+	AddClause(lits []cnf.Lit)
+	DeleteClause(lits []cnf.Lit)
+}
+
+func (o *Options) fillDefaults() {
+	if o.Policy == nil {
+		o.Policy = deletion.DefaultPolicy{}
+	}
+	if o.Alpha == 0 {
+		o.Alpha = deletion.DefaultAlpha
+	}
+	if o.VarDecay == 0 {
+		o.VarDecay = 0.95
+	}
+	if o.ClauseDecay == 0 {
+		o.ClauseDecay = 0.999
+	}
+	if o.RestartBase == 0 {
+		o.RestartBase = 128
+	}
+	if o.ReduceFirst == 0 {
+		o.ReduceFirst = 600
+	}
+	if o.ReduceInc == 0 {
+		o.ReduceInc = 300
+	}
+	if o.ReduceFraction == 0 {
+		o.ReduceFraction = 0.5
+	}
+	if o.Tier1Glue == 0 {
+		o.Tier1Glue = 2
+	}
+}
+
+// Stats aggregates search counters.
+type Stats struct {
+	Decisions       int64
+	Propagations    int64
+	Conflicts       int64
+	Restarts        int64
+	Reductions      int64
+	Learned         int64 // learned clauses added
+	Deleted         int64 // learned clauses deleted by reduction
+	UnitsLearned    int64
+	BinariesLearned int64
+	MinimizedLits   int64 // literals removed by clause minimization
+	MaxTrail        int
+}
+
+// clause is the internal clause representation. Lits[0] and Lits[1] are the
+// watched literals.
+type clause struct {
+	lits    []lit
+	act     float64
+	glue    int32
+	learned bool
+	deleted bool
+	protect bool // reason-protected during the current reduction
+}
+
+type watcher struct {
+	c       *clause
+	blocker lit
+}
+
+// Solver is a CDCL SAT solver over a fixed number of variables.
+type Solver struct {
+	opts Options
+
+	numVars int
+	clauses []*clause // problem clauses
+	learned []*clause // learned clauses (may contain deleted entries)
+
+	watches [][]watcher // indexed by lit
+
+	assign []lbool   // by var
+	level  []int32   // by var
+	reason []*clause // by var
+
+	trail    []lit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	clsInc   float64
+	heap     *varHeap
+	phase    []bool
+
+	// propFreq counts BCP assignments per variable since the last clause
+	// deletion (Eq. 2's f_v); propFreqTotal is cumulative (Figure 3).
+	propFreq      []uint64
+	propFreqTotal []uint64
+
+	seen      []bool
+	analyzeTS []int32 // timestamps for glue computation
+	analyzeCt int32
+
+	stats  Stats
+	ok     bool // false once top-level conflict is found
+	budget error
+
+	reduceLimit int64
+
+	model cnf.Assignment
+}
+
+// ErrBudget is wrapped by solve results that ran out of a resource budget.
+var ErrBudget = errors.New("solver: resource budget exhausted")
+
+// New builds a solver for the formula. Empty clauses make the solver start
+// in the unsatisfiable state; unit clauses are enqueued at level zero.
+func New(f *cnf.Formula, opts Options) (*Solver, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	opts.fillDefaults()
+	n := f.NumVars
+	s := &Solver{
+		opts:          opts,
+		numVars:       n,
+		watches:       make([][]watcher, 2*n),
+		assign:        make([]lbool, n),
+		level:         make([]int32, n),
+		reason:        make([]*clause, n),
+		activity:      make([]float64, n),
+		varInc:        1.0,
+		clsInc:        1.0,
+		phase:         make([]bool, n),
+		propFreq:      make([]uint64, n),
+		propFreqTotal: make([]uint64, n),
+		seen:          make([]bool, n),
+		analyzeTS:     make([]int32, n),
+		ok:            true,
+		reduceLimit:   opts.ReduceFirst,
+	}
+	for i := range s.phase {
+		s.phase[i] = opts.InitialPhase
+	}
+	s.heap = newVarHeap(&s.activity, n)
+	for v := 0; v < n; v++ {
+		s.heap.push(v)
+	}
+	for _, c := range f.Clauses {
+		if err := s.addClause(c); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// Stats returns a copy of the search counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// PropagationFrequencies returns the cumulative per-variable BCP assignment
+// counts (1-based indexing to match cnf variables; index 0 is unused). This
+// is the data behind the paper's Figure 3.
+func (s *Solver) PropagationFrequencies() []uint64 {
+	out := make([]uint64, s.numVars+1)
+	copy(out[1:], s.propFreqTotal)
+	return out
+}
+
+// Model returns the satisfying assignment found by the last Solve call that
+// returned Sat. Index 0 is unused.
+func (s *Solver) Model() cnf.Assignment { return s.model }
+
+// LearnedClauseCount returns the number of live learned clauses.
+func (s *Solver) LearnedClauseCount() int {
+	n := 0
+	for _, c := range s.learned {
+		if !c.deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// addClause installs a problem clause, handling empty, unit, and falsified
+// degenerate cases at decision level zero.
+func (s *Solver) addClause(raw cnf.Clause) error {
+	if !s.ok {
+		return nil
+	}
+	norm, taut := raw.Clone().Normalize()
+	if taut {
+		return nil
+	}
+	lits := make([]lit, 0, len(norm))
+	for _, l := range norm {
+		il := fromCNF(l)
+		switch valueOf(il, s.assign[il.v()]) {
+		case lTrue:
+			if s.level[il.v()] == 0 {
+				return nil // clause already satisfied at top level
+			}
+			lits = append(lits, il)
+		case lFalse:
+			if s.level[il.v()] == 0 {
+				continue // literal dead at top level
+			}
+			lits = append(lits, il)
+		default:
+			lits = append(lits, il)
+		}
+	}
+	switch len(lits) {
+	case 0:
+		s.ok = false
+		return nil
+	case 1:
+		if !s.enqueue(lits[0], nil) {
+			s.ok = false
+			return nil
+		}
+		if conflict := s.propagate(); conflict != nil {
+			s.ok = false
+		}
+		return nil
+	}
+	c := &clause{lits: lits}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return nil
+}
+
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].not()] = append(s.watches[c.lits[0].not()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].not()] = append(s.watches[c.lits[1].not()], watcher{c, c.lits[0]})
+}
+
+// value returns the current truth value of a literal.
+func (s *Solver) value(l lit) lbool { return valueOf(l, s.assign[l.v()]) }
+
+// decisionLevel returns the current decision level.
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// enqueue assigns literal l with the given reason clause (nil for decisions
+// and top-level units). It reports false if l is already false.
+func (s *Solver) enqueue(l lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.v()
+	if l.neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	if len(s.trail) > s.stats.MaxTrail {
+		s.stats.MaxTrail = len(s.trail)
+	}
+	if from != nil {
+		s.stats.Propagations++
+		s.propFreq[v]++
+		s.propFreqTotal[v]++
+	}
+	return true
+}
+
+// cancelUntil backtracks to the given decision level, unassigning variables
+// and saving phases.
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		l := s.trail[i]
+		v := l.v()
+		s.phase[v] = !l.neg()
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+		if !s.heap.contains(v) {
+			s.heap.push(v)
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+// bumpVar increases a variable's activity, rescaling on overflow.
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+		s.heap.rebuild()
+	}
+	s.heap.update(v)
+}
+
+func (s *Solver) decayVar() { s.varInc /= s.opts.VarDecay }
+
+func (s *Solver) bumpClause(c *clause) {
+	c.act += s.clsInc
+	if c.act > 1e100 {
+		for _, lc := range s.learned {
+			lc.act *= 1e-100
+		}
+		s.clsInc *= 1e-100
+	}
+}
+
+func (s *Solver) decayClause() { s.clsInc /= s.opts.ClauseDecay }
+
+// Solve runs the CDCL search until the formula is decided or a budget
+// expires.
+func (s *Solver) Solve() Status {
+	if !s.ok {
+		return Unsat
+	}
+	if conflict := s.propagate(); conflict != nil {
+		s.ok = false
+		return Unsat
+	}
+	restarts := int64(0)
+	for {
+		limit := luby(2, restarts) * s.opts.RestartBase
+		st := s.search(limit)
+		if st != Unknown {
+			return st
+		}
+		if s.budget != nil {
+			return Unknown
+		}
+		restarts++
+		s.stats.Restarts++
+	}
+}
+
+// search runs until a result, a restart limit, or a budget boundary.
+func (s *Solver) search(conflictLimit int64) Status {
+	conflictsHere := int64(0)
+	for {
+		conflict := s.propagate()
+		if conflict != nil {
+			s.stats.Conflicts++
+			conflictsHere++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, backLvl, glue := s.analyze(conflict)
+			s.cancelUntil(backLvl)
+			s.install(learnt, glue)
+			s.decayVar()
+			s.decayClause()
+			if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+				s.budget = fmt.Errorf("%w: conflicts", ErrBudget)
+				s.cancelUntil(0)
+				return Unknown
+			}
+			if s.opts.Interrupt != nil && s.opts.Interrupt() {
+				s.budget = fmt.Errorf("%w: interrupted", ErrBudget)
+				s.cancelUntil(0)
+				return Unknown
+			}
+			if s.stats.Conflicts >= s.reduceLimit {
+				s.reduce()
+			}
+			continue
+		}
+		if s.opts.MaxPropagations > 0 && s.stats.Propagations >= s.opts.MaxPropagations {
+			s.budget = fmt.Errorf("%w: propagations", ErrBudget)
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if conflictsHere >= conflictLimit {
+			s.cancelUntil(0)
+			return Unknown // restart
+		}
+		// Decision.
+		v := s.pickBranchVar()
+		if v < 0 {
+			s.extractModel()
+			return Sat
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(mkLit(v, !s.phase[v]), nil)
+	}
+}
+
+// pickBranchVar pops the highest-activity unassigned variable, or -1 when
+// all variables are assigned.
+func (s *Solver) pickBranchVar() int {
+	for !s.heap.empty() {
+		v := s.heap.pop()
+		if s.assign[v] == lUndef {
+			return v
+		}
+	}
+	return -1
+}
+
+// install attaches a learned clause, enqueues its asserting literal, and
+// updates statistics. learnt[0] is the asserting literal.
+func (s *Solver) install(learnt []lit, glue int) {
+	s.stats.Learned++
+	if s.opts.Proof != nil {
+		s.opts.Proof.AddClause(toCNFSlice(learnt))
+	}
+	switch len(learnt) {
+	case 1:
+		s.stats.UnitsLearned++
+		s.enqueue(learnt[0], nil)
+		return
+	case 2:
+		s.stats.BinariesLearned++
+	}
+	c := &clause{lits: learnt, learned: true, glue: int32(glue), act: s.clsInc}
+	s.learned = append(s.learned, c)
+	s.attach(c)
+	s.enqueue(learnt[0], c)
+}
+
+// extractModel snapshots the current full assignment as a cnf.Assignment.
+func (s *Solver) extractModel() {
+	s.model = cnf.NewAssignment(s.numVars)
+	for v := 0; v < s.numVars; v++ {
+		s.model[v+1] = s.assign[v] == lTrue
+	}
+}
+
+// BudgetExhausted reports whether the last Solve returned Unknown because a
+// resource budget expired, and which one.
+func (s *Solver) BudgetExhausted() error { return s.budget }
+
+// luby computes the Luby restart sequence value luby(y, i) following the
+// standard recursive characterization.
+func luby(y float64, x int64) int64 {
+	var size, seq int64 = 1, 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x = x % size
+	}
+	return int64(math.Pow(y, float64(seq)))
+}

@@ -1,0 +1,337 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/deletion"
+	"neuroselect/internal/gen"
+)
+
+// bruteForce exhaustively decides satisfiability of a small formula.
+func bruteForce(f *cnf.Formula) bool {
+	n := f.NumVars
+	if n > 24 {
+		panic("bruteForce: formula too large")
+	}
+	a := cnf.NewAssignment(n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			a[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if a.Satisfies(f) {
+			return true
+		}
+	}
+	return false
+}
+
+func mustSolve(t *testing.T, f *cnf.Formula, opts Options) Result {
+	t.Helper()
+	res, err := Solve(f, opts)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return res
+}
+
+func TestEmptyFormulaIsSat(t *testing.T) {
+	f := cnf.New(0)
+	if got := mustSolve(t, f, Options{}).Status; got != Sat {
+		t.Fatalf("empty formula: got %v, want SAT", got)
+	}
+}
+
+func TestEmptyClauseIsUnsat(t *testing.T) {
+	f := cnf.New(1)
+	f.Clauses = append(f.Clauses, cnf.Clause{})
+	if got := mustSolve(t, f, Options{}).Status; got != Unsat {
+		t.Fatalf("empty clause: got %v, want UNSAT", got)
+	}
+}
+
+func TestUnitClauses(t *testing.T) {
+	f := cnf.New(2)
+	f.MustAddClause(1)
+	f.MustAddClause(-2)
+	res := mustSolve(t, f, Options{})
+	if res.Status != Sat {
+		t.Fatalf("got %v, want SAT", res.Status)
+	}
+	if !res.Model[1] || res.Model[2] {
+		t.Fatalf("model = %v, want x1=true x2=false", res.Model)
+	}
+}
+
+func TestContradictoryUnits(t *testing.T) {
+	f := cnf.New(1)
+	f.MustAddClause(1)
+	f.MustAddClause(-1)
+	if got := mustSolve(t, f, Options{}).Status; got != Unsat {
+		t.Fatalf("got %v, want UNSAT", got)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	f := cnf.New(2)
+	f.MustAddClause(1, -1)
+	f.MustAddClause(2)
+	res := mustSolve(t, f, Options{})
+	if res.Status != Sat || !res.Model[2] {
+		t.Fatalf("got %v model %v", res.Status, res.Model)
+	}
+}
+
+func TestSimpleChainPropagation(t *testing.T) {
+	// x1 ∧ (¬x1∨x2) ∧ (¬x2∨x3) ∧ ... forces all true.
+	const n = 50
+	f := cnf.New(n)
+	f.MustAddClause(1)
+	for i := 1; i < n; i++ {
+		f.MustAddClause(cnf.Lit(-i), cnf.Lit(i+1))
+	}
+	res := mustSolve(t, f, Options{})
+	if res.Status != Sat {
+		t.Fatalf("got %v, want SAT", res.Status)
+	}
+	for v := 1; v <= n; v++ {
+		if !res.Model[v] {
+			t.Fatalf("variable %d should be true", v)
+		}
+	}
+	if res.Stats.Decisions != 0 {
+		t.Fatalf("chain should solve by propagation alone, got %d decisions", res.Stats.Decisions)
+	}
+}
+
+// TestRandomAgainstBruteForce cross-checks CDCL against exhaustive search on
+// many small random formulas, under every deletion policy.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	policies := []deletion.Policy{
+		deletion.DefaultPolicy{},
+		deletion.FrequencyPolicy{},
+		deletion.ActivityPolicy{},
+		deletion.SizePolicy{},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 120; trial++ {
+		n := 3 + rng.Intn(10)
+		m := 2 + rng.Intn(6*n)
+		inst := gen.RandomKSAT(n, m, 3, int64(trial)*31+5)
+		want := bruteForce(inst.F)
+		pol := policies[trial%len(policies)]
+		res := mustSolve(t, inst.F, Options{Policy: pol, ReduceFirst: 20, ReduceInc: 10})
+		got := res.Status == Sat
+		if res.Status == Unknown {
+			t.Fatalf("%s: unexpected UNKNOWN", inst.Name)
+		}
+		if got != want {
+			t.Fatalf("%s under %s: solver=%v bruteforce=%v", inst.Name, pol.Name(), res.Status, want)
+		}
+		if res.Status == Sat && !res.Model.Satisfies(inst.F) {
+			t.Fatalf("%s: model does not satisfy formula", inst.Name)
+		}
+	}
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for holes := 2; holes <= 6; holes++ {
+		inst := gen.Pigeonhole(holes)
+		res := mustSolve(t, inst.F, Options{})
+		if res.Status != Unsat {
+			t.Fatalf("php-%d: got %v, want UNSAT", holes, res.Status)
+		}
+	}
+}
+
+func TestTseitinPolarity(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		sat := gen.Tseitin(10, 3, true, seed)
+		if res := mustSolve(t, sat.F, Options{}); res.Status != Sat {
+			t.Fatalf("%s: got %v, want SAT", sat.Name, res.Status)
+		}
+		unsat := gen.Tseitin(10, 3, false, seed)
+		if res := mustSolve(t, unsat.F, Options{}); res.Status != Unsat {
+			t.Fatalf("%s: got %v, want UNSAT", unsat.Name, res.Status)
+		}
+	}
+}
+
+func TestParityChain(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		sat := gen.ParityChain(20, 12, 4, true, seed)
+		if res := mustSolve(t, sat.F, Options{}); res.Status != Sat {
+			t.Fatalf("%s: got %v, want SAT", sat.Name, res.Status)
+		}
+		unsat := gen.ParityChain(20, 12, 4, false, seed)
+		if res := mustSolve(t, unsat.F, Options{}); res.Status != Unsat {
+			t.Fatalf("%s: got %v, want UNSAT", unsat.Name, res.Status)
+		}
+	}
+}
+
+func TestBMCCounterPolarity(t *testing.T) {
+	sat := gen.BMCCounter(6, 10, 15)
+	if sat.Expected != gen.ExpectSat {
+		t.Fatalf("expected SAT construction")
+	}
+	if res := mustSolve(t, sat.F, Options{}); res.Status != Sat {
+		t.Fatalf("%s: got %v, want SAT", sat.Name, res.Status)
+	}
+	unsat := gen.BMCCounter(6, 10, 25)
+	if unsat.Expected != gen.ExpectUnsat {
+		t.Fatalf("expected UNSAT construction")
+	}
+	if res := mustSolve(t, unsat.F, Options{}); res.Status != Unsat {
+		t.Fatalf("%s: got %v, want UNSAT", unsat.Name, res.Status)
+	}
+}
+
+func TestMiterEquivalenceUnsat(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		inst := gen.Miter(6, 30, false, seed)
+		if res := mustSolve(t, inst.F, Options{}); res.Status != Unsat {
+			t.Fatalf("%s: got %v, want UNSAT", inst.Name, res.Status)
+		}
+	}
+}
+
+func TestNQueens(t *testing.T) {
+	for _, n := range []int{1, 4, 5, 6, 8} {
+		inst := gen.NQueens(n)
+		res := mustSolve(t, inst.F, Options{})
+		if res.Status != Sat {
+			t.Fatalf("queens-%d: got %v, want SAT", n, res.Status)
+		}
+	}
+	for _, n := range []int{2, 3} {
+		inst := gen.NQueens(n)
+		if res := mustSolve(t, inst.F, Options{}); res.Status != Unsat {
+			t.Fatalf("queens-%d: got %v, want UNSAT", n, res.Status)
+		}
+	}
+}
+
+func TestConflictBudgetReturnsUnknown(t *testing.T) {
+	inst := gen.Pigeonhole(8)
+	res := mustSolve(t, inst.F, Options{MaxConflicts: 10})
+	if res.Status != Unknown {
+		t.Fatalf("got %v, want UNKNOWN under tiny budget", res.Status)
+	}
+	if res.Stats.Conflicts < 10 {
+		t.Fatalf("expected at least 10 conflicts, got %d", res.Stats.Conflicts)
+	}
+}
+
+func TestPropagationBudgetReturnsUnknown(t *testing.T) {
+	inst := gen.Pigeonhole(8)
+	s, err := New(inst.F, Options{MaxPropagations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Solve(); got != Unknown {
+		t.Fatalf("got %v, want UNKNOWN", got)
+	}
+	if s.BudgetExhausted() == nil {
+		t.Fatal("BudgetExhausted should report the expired budget")
+	}
+}
+
+func TestReductionHappensAndPoliciesAgree(t *testing.T) {
+	// A hard-enough instance that reductions trigger; all policies must
+	// agree on satisfiability.
+	inst := gen.RandomKSAT(60, 255, 3, 99)
+	var first Status
+	for i, pol := range []deletion.Policy{deletion.DefaultPolicy{}, deletion.FrequencyPolicy{}} {
+		res := mustSolve(t, inst.F, Options{Policy: pol, ReduceFirst: 50, ReduceInc: 25})
+		if res.Status == Unknown {
+			t.Fatalf("unexpected UNKNOWN")
+		}
+		if i == 0 {
+			first = res.Status
+		} else if res.Status != first {
+			t.Fatalf("policies disagree: %v vs %v", first, res.Status)
+		}
+		if res.Stats.Conflicts > 200 && res.Stats.Reductions == 0 {
+			t.Fatalf("policy %s: expected reductions under small schedule, got none (%d conflicts)",
+				pol.Name(), res.Stats.Conflicts)
+		}
+	}
+}
+
+func TestPropagationFrequenciesTracked(t *testing.T) {
+	inst := gen.Pigeonhole(6)
+	s, err := New(inst.F, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("php-6 should be UNSAT")
+	}
+	freqs := s.PropagationFrequencies()
+	if len(freqs) != inst.F.NumVars+1 {
+		t.Fatalf("frequency slice length %d, want %d", len(freqs), inst.F.NumVars+1)
+	}
+	total := uint64(0)
+	for _, f := range freqs {
+		total += f
+	}
+	if total == 0 {
+		t.Fatal("expected nonzero cumulative propagation counts")
+	}
+	if total != uint64(s.Stats().Propagations) {
+		t.Fatalf("cumulative frequencies %d != propagation count %d", total, s.Stats().Propagations)
+	}
+}
+
+func TestSolveAssuming(t *testing.T) {
+	// (x1 ∨ x2) with assumption ¬x1 forces x2.
+	f := cnf.New(2)
+	f.MustAddClause(1, 2)
+	res, err := SolveAssuming(f, []cnf.Lit{-1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Sat || res.Model[1] || !res.Model[2] {
+		t.Fatalf("got %v model %v", res.Status, res.Model)
+	}
+	// Contradictory assumptions.
+	res, err = SolveAssuming(f, []cnf.Lit{-1, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unsat {
+		t.Fatalf("got %v, want UNSAT", res.Status)
+	}
+}
+
+func TestStatsMonotonicity(t *testing.T) {
+	inst := gen.RandomKSAT(40, 170, 3, 3)
+	res := mustSolve(t, inst.F, Options{})
+	st := res.Stats
+	if st.Decisions < 0 || st.Propagations <= 0 {
+		t.Fatalf("implausible stats: %+v", st)
+	}
+	if st.Learned < st.UnitsLearned+st.BinariesLearned {
+		t.Fatalf("learned breakdown exceeds total: %+v", st)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(2, int64(i)); got != w {
+			t.Fatalf("luby(2,%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	inst := gen.RandomKSAT(50, 210, 3, 11)
+	r1 := mustSolve(t, inst.F, Options{})
+	r2 := mustSolve(t, inst.F, Options{})
+	if r1.Status != r2.Status || r1.Stats != r2.Stats {
+		t.Fatalf("solver is not deterministic: %+v vs %+v", r1.Stats, r2.Stats)
+	}
+}

@@ -1,0 +1,58 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMat(r, c int) *Matrix {
+	rng := rand.New(rand.NewSource(1))
+	m := New(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	x := benchMat(64, 64)
+	y := benchMat(64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulTall(b *testing.B) {
+	x := benchMat(2000, 16) // node-features × weight shape used by the models
+	y := benchMat(16, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkSpMMGraphShaped(b *testing.B) {
+	// A sparse operator shaped like a VCG adjacency: 2000 nodes, ~6 nnz per
+	// row.
+	rng := rand.New(rand.NewSource(2))
+	s := NewSparse(2000, 2000)
+	for i := 0; i < 2000; i++ {
+		for k := 0; k < 6; k++ {
+			s.Add(i, rng.Intn(2000), 1)
+		}
+	}
+	d := benchMat(2000, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SpMM(s, d)
+	}
+}
+
+func BenchmarkFrobenius(b *testing.B) {
+	m := benchMat(512, 32)
+	for i := 0; i < b.N; i++ {
+		Frobenius(m)
+	}
+}

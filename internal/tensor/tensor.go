@@ -1,0 +1,262 @@
+// Package tensor provides dense row-major float64 matrices and a read-only
+// sparse matrix, with the operations needed by the NeuroSelect models:
+// matrix products, elementwise arithmetic, reductions, and Frobenius norms.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New allocates a zero matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromSlice wraps existing data (not copied) as a rows×cols matrix.
+func FromSlice(rows, cols int, data []float64) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d != %d×%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared storage).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets all elements in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// sameShape panics unless a and b have identical dimensions.
+func sameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// MatMul returns a × b.
+func MatMul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmul inner mismatch %dx%d × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulT returns a × bᵀ.
+func MatMulT(a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulT inner mismatch %dx%d × (%dx%d)ᵀ", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			s := 0.0
+			for k := range arow {
+				s += arow[k] * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+	return out
+}
+
+// TMatMul returns aᵀ × b.
+func TMatMul(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: tmatmul inner mismatch (%dx%d)ᵀ × %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Cols, b.Cols)
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Row(i)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns aᵀ.
+func Transpose(a *Matrix) *Matrix {
+	out := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			out.Set(j, i, a.At(i, j))
+		}
+	}
+	return out
+}
+
+// Add returns a + b.
+func Add(a, b *Matrix) *Matrix {
+	sameShape("add", a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a.
+func AddInPlace(a, b *Matrix) {
+	sameShape("add", a, b)
+	for i, v := range b.Data {
+		a.Data[i] += v
+	}
+}
+
+// Sub returns a − b.
+func Sub(a, b *Matrix) *Matrix {
+	sameShape("sub", a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// Scale returns s·a.
+func Scale(a *Matrix, s float64) *Matrix {
+	out := a.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+// Hadamard returns the elementwise product a ⊙ b.
+func Hadamard(a, b *Matrix) *Matrix {
+	sameShape("hadamard", a, b)
+	out := a.Clone()
+	for i, v := range b.Data {
+		out.Data[i] *= v
+	}
+	return out
+}
+
+// AddRowBroadcast returns a with the 1×Cols row vector r added to each row.
+func AddRowBroadcast(a, r *Matrix) *Matrix {
+	if r.Rows != 1 || r.Cols != a.Cols {
+		panic(fmt.Sprintf("tensor: broadcast shape %dx%d onto %dx%d", r.Rows, r.Cols, a.Rows, a.Cols))
+	}
+	out := a.Clone()
+	for i := 0; i < a.Rows; i++ {
+		row := out.Row(i)
+		for j, v := range r.Data {
+			row[j] += v
+		}
+	}
+	return out
+}
+
+// ColSums returns the 1×Cols vector of column sums.
+func ColSums(a *Matrix) *Matrix {
+	out := New(1, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			out.Data[j] += v
+		}
+	}
+	return out
+}
+
+// RowMean returns the 1×Cols mean of the rows.
+func RowMean(a *Matrix) *Matrix {
+	out := ColSums(a)
+	if a.Rows > 0 {
+		inv := 1.0 / float64(a.Rows)
+		for j := range out.Data {
+			out.Data[j] *= inv
+		}
+	}
+	return out
+}
+
+// Frobenius returns the Frobenius norm ‖a‖_F.
+func Frobenius(a *Matrix) float64 {
+	s := 0.0
+	for _, v := range a.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Apply returns f applied elementwise.
+func Apply(a *Matrix, f func(float64) float64) *Matrix {
+	out := a.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// Xavier fills the matrix with Glorot-uniform values drawn from rng.
+func (m *Matrix) Xavier(rng *rand.Rand) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (rng.Float64()*2 - 1) * limit
+	}
+}
+
+// MaxAbsDiff returns max |a−b| elementwise; useful in tests.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	sameShape("maxabsdiff", a, b)
+	d := 0.0
+	for i := range a.Data {
+		if x := math.Abs(a.Data[i] - b.Data[i]); x > d {
+			d = x
+		}
+	}
+	return d
+}

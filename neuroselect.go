@@ -1,0 +1,204 @@
+// Package neuroselect is the public facade of the NeuroSelect
+// reproduction: a CDCL SAT solver with pluggable clause-deletion policies,
+// the paper's propagation-frequency deletion criterion, and a graph-
+// transformer selector that picks the best policy per instance.
+//
+// Quick start:
+//
+//	f, _ := neuroselect.ParseDIMACS(strings.NewReader("p cnf 2 2\n1 2 0\n-1 0\n"))
+//	res, _ := neuroselect.Solve(f, neuroselect.SolveConfig{})
+//	fmt.Println(res.Status) // SAT
+//
+// Training and adaptive solving:
+//
+//	model, _ := neuroselect.TrainSelector(neuroselect.TrainerConfig{})
+//	res, _ := neuroselect.SolveAdaptive(f, model, neuroselect.SolveConfig{})
+package neuroselect
+
+import (
+	"errors"
+	"io"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/core"
+	"neuroselect/internal/dataset"
+	"neuroselect/internal/deletion"
+	"neuroselect/internal/drat"
+	"neuroselect/internal/experiments"
+	"neuroselect/internal/portfolio"
+	"neuroselect/internal/simp"
+	"neuroselect/internal/solver"
+)
+
+// Re-exported basic types.
+type (
+	// Formula is a CNF formula (see internal/cnf).
+	Formula = cnf.Formula
+	// Lit is a DIMACS-style literal.
+	Lit = cnf.Lit
+	// Clause is a disjunction of literals.
+	Clause = cnf.Clause
+	// Assignment maps variables to truth values.
+	Assignment = cnf.Assignment
+	// Status is a solve outcome (SAT / UNSAT / UNKNOWN).
+	Status = solver.Status
+	// Result bundles a solve outcome with its statistics.
+	Result = solver.Result
+	// Model is a trained NeuroSelect policy-selection model.
+	Model = core.Model
+)
+
+// Solve outcomes.
+const (
+	Unknown = solver.Unknown
+	Sat     = solver.Sat
+	Unsat   = solver.Unsat
+)
+
+// NewFormula returns an empty formula over n variables.
+func NewFormula(n int) *Formula { return cnf.New(n) }
+
+// ParseDIMACS reads a DIMACS CNF.
+func ParseDIMACS(r io.Reader) (*Formula, error) { return cnf.ParseDIMACS(r) }
+
+// WriteDIMACS writes a formula in DIMACS format.
+func WriteDIMACS(w io.Writer, f *Formula) error { return cnf.WriteDIMACS(w, f) }
+
+// SolveConfig configures a solve call.
+type SolveConfig struct {
+	// Policy names the clause-deletion policy: "default" (Kissat's
+	// glue/size ranking), "frequency" (the paper's new policy),
+	// "activity", or "size". Empty means "default".
+	Policy string
+	// MaxConflicts bounds the search (0 = unlimited).
+	MaxConflicts int64
+	// Preprocess runs SatELite-style simplification (unit propagation,
+	// pure literals, subsumption, strengthening) before the CDCL search;
+	// SAT models are extended back to the original variables.
+	Preprocess bool
+	// Proof, when non-nil, receives a DRAT proof stream certifying UNSAT
+	// answers (written via drat.NewWriter). Incompatible with Preprocess,
+	// whose eliminations are not proof-logged.
+	Proof *drat.Writer
+}
+
+// Solve decides the formula under a fixed deletion policy.
+func Solve(f *Formula, cfg SolveConfig) (Result, error) {
+	name := cfg.Policy
+	if name == "" {
+		name = "default"
+	}
+	pol, err := deletion.ByName(name)
+	if err != nil {
+		return Result{}, err
+	}
+	opts := dataset.SolveOptions(pol, cfg.MaxConflicts)
+	if cfg.Proof != nil {
+		if cfg.Preprocess {
+			return Result{}, errors.New("neuroselect: Proof and Preprocess cannot be combined")
+		}
+		opts.Proof = cfg.Proof
+	}
+	if !cfg.Preprocess {
+		return solver.Solve(f, opts)
+	}
+	pre := simp.Simplify(f, simp.Options{})
+	if pre.ProvenUnsat {
+		return Result{Status: Unsat}, nil
+	}
+	res, err := solver.Solve(pre.F, opts)
+	if err != nil {
+		return res, err
+	}
+	if res.Status == Sat {
+		res.Model = simp.ExtendModel(res.Model, pre.Units)
+		if !res.Model.Satisfies(f) {
+			return res, errors.New("neuroselect: internal error: extended model does not satisfy original formula")
+		}
+	}
+	return res, nil
+}
+
+// Preprocess exposes the simplifier directly: it returns an
+// equisatisfiable formula, the fixed top-level literals (for
+// simp.ExtendModel), and whether preprocessing alone refuted the input.
+func Preprocess(f *Formula) (*Formula, []Lit, bool) {
+	res := simp.Simplify(f, simp.Options{})
+	return res.F, res.Units, res.ProvenUnsat
+}
+
+// CheckProof validates a DRAT proof (as produced via SolveConfig.Proof)
+// against the original formula.
+func CheckProof(f *Formula, proof io.Reader) error {
+	steps, err := drat.Parse(proof)
+	if err != nil {
+		return err
+	}
+	return drat.Check(f, steps)
+}
+
+// NewProofWriter wraps w as a DRAT proof sink for SolveConfig.Proof. Call
+// Flush after solving.
+func NewProofWriter(w io.Writer) *drat.Writer { return drat.NewWriter(w) }
+
+// SolveAssuming decides the formula under assumption literals.
+func SolveAssuming(f *Formula, assumptions []Lit, cfg SolveConfig) (Result, error) {
+	name := cfg.Policy
+	if name == "" {
+		name = "default"
+	}
+	pol, err := deletion.ByName(name)
+	if err != nil {
+		return Result{}, err
+	}
+	return solver.SolveAssuming(f, assumptions, dataset.SolveOptions(pol, cfg.MaxConflicts))
+}
+
+// SolveAdaptive runs the NeuroSelect-Kissat flow: a one-time model
+// inference picks the deletion policy, then the solver runs under it.
+func SolveAdaptive(f *Formula, m *Model, cfg SolveConfig) (Result, error) {
+	sel := portfolio.NewSelector(m)
+	rep, err := sel.Solve(f, cfg.MaxConflicts)
+	if err != nil {
+		return Result{}, err
+	}
+	return rep.Result, nil
+}
+
+// TrainerConfig sizes selector training. The zero value uses the quick
+// preset (seconds); Paper-shaped runs should raise the sizes via Scale.
+type TrainerConfig struct {
+	// Scale selects an experiment preset: "quick" (default) or "default".
+	Scale string
+	// Log receives progress lines when non-nil.
+	Log io.Writer
+}
+
+// TrainSelector builds a labeled corpus, trains a NeuroSelect model on it,
+// and returns the model.
+func TrainSelector(cfg TrainerConfig) (*Model, error) {
+	scale := experiments.QuickScale()
+	if cfg.Scale == "default" {
+		scale = experiments.DefaultScale()
+	}
+	r := experiments.NewRunner(scale)
+	r.Log = cfg.Log
+	return r.TrainedModel()
+}
+
+// SaveModel writes a self-describing model file (architecture + weights).
+func SaveModel(w io.Writer, m *Model) error { return m.SaveFile(w) }
+
+// LoadModel restores a model written by SaveModel.
+func LoadModel(r io.Reader) (*Model, error) { return core.LoadModelFile(r) }
+
+// PredictPolicy returns the model's probability that the frequency-guided
+// deletion policy beats the default on the formula, and the policy name it
+// would select at the 0.5 threshold.
+func PredictPolicy(f *Formula, m *Model) (prob float64, policy string) {
+	prob = m.Predict(f)
+	if prob >= 0.5 {
+		return prob, "frequency"
+	}
+	return prob, "default"
+}

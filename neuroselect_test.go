@@ -1,0 +1,183 @@
+package neuroselect_test
+
+import (
+	"strings"
+	"testing"
+
+	"neuroselect"
+)
+
+func TestFacadeSolve(t *testing.T) {
+	f := neuroselect.NewFormula(3)
+	f.MustAddClause(1, 2)
+	f.MustAddClause(-1, 3)
+	f.MustAddClause(-2, -3)
+	res, err := neuroselect.Solve(f, neuroselect.SolveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != neuroselect.Sat {
+		t.Fatalf("status %v", res.Status)
+	}
+	if !res.Model.Satisfies(f) {
+		t.Fatal("model must satisfy")
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	f, err := neuroselect.ParseDIMACS(strings.NewReader("p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []string{"", "default", "frequency", "activity", "size"} {
+		res, err := neuroselect.Solve(f, neuroselect.SolveConfig{Policy: pol})
+		if err != nil {
+			t.Fatalf("%q: %v", pol, err)
+		}
+		if res.Status != neuroselect.Unsat {
+			t.Fatalf("%q: %v", pol, res.Status)
+		}
+	}
+	if _, err := neuroselect.Solve(f, neuroselect.SolveConfig{Policy: "bogus"}); err == nil {
+		t.Fatal("unknown policy must error")
+	}
+}
+
+func TestFacadeSolveAssuming(t *testing.T) {
+	f := neuroselect.NewFormula(2)
+	f.MustAddClause(1, 2)
+	res, err := neuroselect.SolveAssuming(f, []neuroselect.Lit{-1}, neuroselect.SolveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != neuroselect.Sat || !res.Model[2] {
+		t.Fatalf("assumption solve: %v %v", res.Status, res.Model)
+	}
+}
+
+func TestFacadeDIMACSRoundTrip(t *testing.T) {
+	f := neuroselect.NewFormula(2)
+	f.MustAddClause(1, -2)
+	var sb strings.Builder
+	if err := neuroselect.WriteDIMACS(&sb, f); err != nil {
+		t.Fatal(err)
+	}
+	g, err := neuroselect.ParseDIMACS(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVars != 2 || len(g.Clauses) != 1 {
+		t.Fatal("round trip")
+	}
+}
+
+// TestFacadeEndToEnd exercises train → predict → adaptive solve at the
+// smallest scale.
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	m, err := neuroselect.TrainSelector(neuroselect.TrainerConfig{Scale: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := neuroselect.NewFormula(3)
+	f.MustAddClause(1, 2, 3)
+	f.MustAddClause(-1, -2)
+	prob, policy := neuroselect.PredictPolicy(f, m)
+	if prob < 0 || prob > 1 {
+		t.Fatalf("prob %v", prob)
+	}
+	if policy != "default" && policy != "frequency" {
+		t.Fatalf("policy %q", policy)
+	}
+	res, err := neuroselect.SolveAdaptive(f, m, neuroselect.SolveConfig{MaxConflicts: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != neuroselect.Sat {
+		t.Fatalf("adaptive solve: %v", res.Status)
+	}
+}
+
+func TestFacadePreprocessSolve(t *testing.T) {
+	f := neuroselect.NewFormula(4)
+	f.MustAddClause(1)
+	f.MustAddClause(-1, 2)
+	f.MustAddClause(-2, 3, 4)
+	res, err := neuroselect.Solve(f, neuroselect.SolveConfig{Preprocess: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != neuroselect.Sat || !res.Model.Satisfies(f) {
+		t.Fatalf("preprocessed solve: %v", res.Status)
+	}
+	g, units, unsat := neuroselect.Preprocess(f)
+	if unsat {
+		t.Fatal("satisfiable formula refuted")
+	}
+	if len(units) < 2 {
+		t.Fatalf("expected propagated units, got %v", units)
+	}
+	if len(g.Clauses) >= len(f.Clauses) {
+		t.Fatal("preprocessing should shrink this formula")
+	}
+}
+
+func TestFacadeProofRoundTrip(t *testing.T) {
+	f, err := neuroselect.ParseDIMACS(strings.NewReader("p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var proof strings.Builder
+	w := neuroselect.NewProofWriter(&proof)
+	res, err := neuroselect.Solve(f, neuroselect.SolveConfig{Proof: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != neuroselect.Unsat {
+		t.Fatalf("status %v", res.Status)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := neuroselect.CheckProof(f, strings.NewReader(proof.String())); err != nil {
+		t.Fatalf("proof rejected: %v", err)
+	}
+}
+
+func TestFacadeProofPreprocessConflict(t *testing.T) {
+	f := neuroselect.NewFormula(1)
+	f.MustAddClause(1)
+	var sb strings.Builder
+	_, err := neuroselect.Solve(f, neuroselect.SolveConfig{
+		Preprocess: true,
+		Proof:      neuroselect.NewProofWriter(&sb),
+	})
+	if err == nil {
+		t.Fatal("Proof+Preprocess must be rejected")
+	}
+}
+
+func TestFacadeModelSaveLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	m, err := neuroselect.TrainSelector(neuroselect.TrainerConfig{Scale: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := neuroselect.SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := neuroselect.LoadModel(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := neuroselect.NewFormula(3)
+	f.MustAddClause(1, 2, 3)
+	if loaded.Predict(f) != m.Predict(f) {
+		t.Fatal("loaded model predicts differently")
+	}
+}
