@@ -1,0 +1,22 @@
+# Tier-1 verification gate and common developer targets.
+
+GO ?= go
+
+.PHONY: check build vet test race
+
+## check: the tier-1 gate — build, vet, all tests, race detector on the
+## concurrency-bearing packages. CI and pre-merge both run this.
+check:
+	./scripts/check.sh
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/portfolio/... ./internal/experiments/... ./internal/solver/... ./internal/faultpoint/...

@@ -3,13 +3,16 @@
 //
 // Usage:
 //
-//	satsolve [-policy default|frequency|activity|size] [-conflicts N] [-stats] file.cnf
+//	satsolve [-policy default|frequency|activity|size] [-conflicts N] [-timeout D] [-stats] file.cnf
 //
 // Reads from stdin when no file is given. Exits 10 for SAT, 20 for UNSAT
-// (the SAT-competition convention), 0 for unknown.
+// (the SAT-competition convention), 0 for unknown (budget or timeout
+// expired; a "c timeout"-style comment names the cause), 1 for errors.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -20,13 +23,32 @@ import (
 	"neuroselect/internal/solver"
 )
 
+func usage() {
+	fmt.Fprint(flag.CommandLine.Output(), `usage: satsolve [flags] [file.cnf]
+
+Reads a DIMACS CNF from the file, or from stdin when no file is given.
+
+exit codes:
+  10  satisfiable (s SATISFIABLE, model on v lines)
+  20  unsatisfiable (s UNSATISFIABLE)
+   0  unknown: a budget or the -timeout wall-clock deadline expired
+      (the cause is printed as a comment line before "s UNKNOWN")
+   1  error (bad input, bad flags, I/O failure)
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
 func main() {
 	policy := flag.String("policy", "default", "clause-deletion policy: default, frequency, activity, size")
 	conflicts := flag.Int64("conflicts", 0, "conflict budget (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "wall-clock timeout, e.g. 30s or 5m (0 = unlimited)")
 	stats := flag.Bool("stats", false, "print solver statistics")
 	model := flag.Bool("model", true, "print the satisfying assignment (v lines)")
 	simplify := flag.Bool("simplify", false, "preprocess with unit propagation, pure literals, subsumption")
 	proofPath := flag.String("proof", "", "write a DRAT proof to this file (incompatible with -simplify)")
+	flag.Usage = usage
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -42,7 +64,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cfg := neuroselect.SolveConfig{Policy: *policy, MaxConflicts: *conflicts, Preprocess: *simplify}
+	cfg := neuroselect.SolveConfig{
+		Policy:       *policy,
+		MaxConflicts: *conflicts,
+		Preprocess:   *simplify,
+		Timeout:      *timeout,
+	}
 	var proofFile *os.File
 	if *proofPath != "" {
 		proofFile, err = os.Create(*proofPath)
@@ -52,8 +79,8 @@ func main() {
 		defer proofFile.Close()
 		cfg.Proof = neuroselect.NewProofWriter(proofFile)
 	}
-	res, err := neuroselect.Solve(f, cfg)
-	if err != nil {
+	res, err := neuroselect.SolveContext(context.Background(), f, cfg)
+	if err != nil && !errors.Is(err, neuroselect.ErrSolvePanic) {
 		fatal(err)
 	}
 	if cfg.Proof != nil {
@@ -85,7 +112,31 @@ func main() {
 		fmt.Println("s UNSATISFIABLE")
 		os.Exit(20)
 	default:
+		if c := stopComment(res.Stop); c != "" {
+			fmt.Println("c " + c)
+		}
 		fmt.Println("s UNKNOWN")
+	}
+}
+
+// stopComment maps an Unknown result's stop cause to the comment line
+// printed before "s UNKNOWN".
+func stopComment(stop error) string {
+	switch {
+	case stop == nil:
+		return ""
+	case errors.Is(stop, solver.ErrDeadline):
+		return "timeout"
+	case errors.Is(stop, solver.ErrCanceled):
+		return "canceled"
+	case errors.Is(stop, solver.ErrConflictBudget):
+		return "conflict budget exhausted"
+	case errors.Is(stop, solver.ErrPropagationBudget):
+		return "propagation budget exhausted"
+	case errors.Is(stop, solver.ErrSolvePanic):
+		return "internal failure contained: " + stop.Error()
+	default:
+		return stop.Error()
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"neuroselect/internal/faultpoint"
 )
 
 // ParseDIMACS reads a CNF formula in DIMACS format. It tolerates comment
@@ -13,6 +15,9 @@ import (
 // checked loosely: a formula may use fewer variables or clauses than
 // declared, never more clauses), and clauses spanning multiple lines.
 func ParseDIMACS(r io.Reader) (*Formula, error) {
+	if err := faultpoint.Hit(faultpoint.DimacsParse); err != nil {
+		return nil, fmt.Errorf("cnf: %w", err)
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
 

@@ -1,0 +1,25 @@
+package cnf
+
+import (
+	"errors"
+	"testing"
+
+	"neuroselect/internal/faultpoint"
+)
+
+func TestParseDIMACSFaultPoint(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	boom := errors.New("disk read failed")
+	faultpoint.Arm(faultpoint.DimacsParse, faultpoint.Fault{Err: boom, Times: 1})
+	if _, err := ParseDIMACSString("p cnf 1 1\n1 0\n"); !errors.Is(err, boom) {
+		t.Fatalf("armed parse must fail with the injected error, got %v", err)
+	}
+	// The fault fired its one time; parsing works again.
+	f, err := ParseDIMACSString("p cnf 2 2\n1 2 0\n-1 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 2 || len(f.Clauses) != 2 {
+		t.Fatalf("parse after fault: vars=%d clauses=%d", f.NumVars, len(f.Clauses))
+	}
+}

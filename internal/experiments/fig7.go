@@ -8,6 +8,7 @@ import (
 	"neuroselect/internal/dataset"
 	"neuroselect/internal/deletion"
 	"neuroselect/internal/metrics"
+	"neuroselect/internal/portfolio"
 	"neuroselect/internal/solver"
 )
 
@@ -24,7 +25,13 @@ type Fig7Result struct {
 	ImprovementProps []float64
 	// FreqChosen counts instances routed to the frequency policy.
 	FreqChosen int
-	Table3     Table3Result
+	// Fallbacks counts instances where the selector bypassed inference
+	// (node cap, contained panic, inference deadline).
+	Fallbacks int
+	// Failures lists instances whose solves failed; they are excluded
+	// from the scatter and summaries but recorded as failure rows.
+	Failures []InstanceFailure
+	Table3   Table3Result
 	// Oracle is the virtual-best-solver summary: per instance the better
 	// of the two policies, the selector's headroom.
 	Oracle metrics.Summary
@@ -47,19 +54,35 @@ func (r *Runner) Fig7() (Fig7Result, error) {
 	var kProps, nProps, kMS, nMS, vbs []float64
 	var kSolved, nSolved []bool
 	for _, it := range c.Test.Items {
-		start := time.Now()
-		kr, err := solver.Solve(it.Inst.F, dataset.SolveOptions(deletion.DefaultPolicy{}, budget))
-		if err != nil {
-			return Fig7Result{}, err
-		}
-		kTime := time.Since(start)
-
-		rep, err := sel.Solve(it.Inst.F, budget)
-		if err != nil {
-			return Fig7Result{}, err
+		var kr solver.Result
+		var kTime time.Duration
+		var rep portfolio.Report
+		// A bad instance (solver panic, parse fault, malformed input) is
+		// recorded as a failure row; the figure/table run continues.
+		if err := isolate(func() error {
+			start := time.Now()
+			var err error
+			kr, err = solver.Solve(it.Inst.F, dataset.SolveOptions(deletion.DefaultPolicy{}, budget))
+			if err != nil {
+				return fmt.Errorf("kissat: %w", err)
+			}
+			kTime = time.Since(start)
+			rep, err = sel.Solve(it.Inst.F, budget)
+			if err != nil {
+				return fmt.Errorf("neuroselect: %w", err)
+			}
+			return nil
+		}); err != nil {
+			r.logf("fig7: instance %s failed, continuing: %v", it.Inst.Name, err)
+			out.Failures = append(out.Failures, InstanceFailure{
+				Name: it.Inst.Name, Stage: "solve", Err: err.Error()})
+			continue
 		}
 		if rep.Choice.Policy.Name() == "frequency" {
 			out.FreqChosen++
+		}
+		if rep.Choice.Fallback != "" {
+			out.Fallbacks++
 		}
 		out.InferenceMS = append(out.InferenceMS, float64(rep.Choice.Inference.Microseconds())/1000)
 
@@ -101,7 +124,10 @@ func (r *Runner) Fig7() (Fig7Result, error) {
 		NeuroSelect:     metrics.Summarize(nProps, nSolved),
 		KissatTime:      metrics.Summarize(kMS, kSolved),
 		NeuroSelectTime: metrics.Summarize(nMS, nSolved),
+		Failures:        out.Failures,
 	}
+	out.Table3.Kissat.Failed = len(out.Failures)
+	out.Table3.NeuroSelect.Failed = len(out.Failures)
 	out.Table3.MedianImprovement = metrics.RelativeImprovement(
 		out.Table3.Kissat.Median, out.Table3.NeuroSelect.Median)
 	return out, nil
@@ -125,6 +151,12 @@ func (f Fig7Result) Render() string {
 	sb.WriteString(f.Scatter.Render())
 	fmt.Fprintf(&sb, "  instances routed to the frequency policy: %d of %d\n",
 		f.FreqChosen, len(f.Scatter.Points))
+	if f.Fallbacks > 0 {
+		fmt.Fprintf(&sb, "  selector fallbacks to the default policy: %d\n", f.Fallbacks)
+	}
+	for _, fail := range f.Failures {
+		fmt.Fprintf(&sb, "  failed instance (excluded): %s\n", fail)
+	}
 	sb.WriteString("Figure 7(b) — box plots\n")
 	qs := []float64{0, 0.25, 0.5, 0.75, 1}
 	sb.WriteString(boxplot("inference time", metrics.Quantiles(f.InferenceMS, qs...), "ms"))

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"neuroselect/internal/faultpoint"
+)
+
+func TestFig7IsolatesFailingInstance(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	// The second test instance fails at the fault point; the run must
+	// record it as a failure row and produce the figure and table anyway.
+	faultpoint.Arm(faultpoint.ExperimentInstance,
+		faultpoint.Fault{Err: errors.New("malformed instance"), Skip: 1, Times: 1})
+	r := quickRunner()
+	res, err := r.Fig7()
+	if err != nil {
+		t.Fatalf("a single bad instance must not abort the run: %v", err)
+	}
+	if len(res.Failures) != 1 {
+		t.Fatalf("want exactly 1 failure row, got %v", res.Failures)
+	}
+	if res.Failures[0].Name == "" || res.Failures[0].Err == "" {
+		t.Fatalf("failure row must identify the instance and cause: %+v", res.Failures[0])
+	}
+	if res.Table3.Kissat.Failed != 1 || res.Table3.NeuroSelect.Failed != 1 {
+		t.Fatalf("summaries must count the failed instance: %+v", res.Table3)
+	}
+	rendered := res.Table3.Render()
+	if !strings.Contains(rendered, "failure:") {
+		t.Fatalf("Table 3 must render the failure row:\n%s", rendered)
+	}
+	if !strings.Contains(res.Render(), "failed instance") {
+		t.Fatal("Fig 7 must render the failure row")
+	}
+	// All remaining instances were processed.
+	want := r.Scale.Corpus.TestSize - 1
+	if got := len(res.InferenceMS); got != want {
+		t.Fatalf("want %d surviving instances, got %d", want, got)
+	}
+}
+
+func TestFig7IsolatesPanickingInstance(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	faultpoint.Arm(faultpoint.ExperimentInstance,
+		faultpoint.Fault{PanicValue: "corrupt clause database", Times: 1})
+	r := quickRunner()
+	res, err := r.Fig7()
+	if err != nil {
+		t.Fatalf("a panicking instance must not abort the run: %v", err)
+	}
+	if len(res.Failures) != 1 {
+		t.Fatalf("want 1 failure row, got %v", res.Failures)
+	}
+	if !strings.Contains(res.Failures[0].Err, "panic") {
+		t.Fatalf("failure row must record the panic: %+v", res.Failures[0])
+	}
+}
+
+func TestFig7WithSelectorInferencePanic(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	// Inference panics on every instance: the selector must degrade to
+	// the default policy for the whole run and the table must still come
+	// out, with every instance falling back (the paper's degrade-to-
+	// Kissat behaviour).
+	faultpoint.Arm(faultpoint.ModelInference, faultpoint.Fault{PanicValue: "inference broken"})
+	r := quickRunner()
+	res, err := r.Fig7()
+	if err != nil {
+		t.Fatalf("inference failure must not abort the run: %v", err)
+	}
+	if len(res.Failures) != 0 {
+		t.Fatalf("fallback is not a failure: %v", res.Failures)
+	}
+	if res.FreqChosen != 0 {
+		t.Fatalf("with inference down no instance can be routed to frequency, got %d", res.FreqChosen)
+	}
+	if res.Fallbacks != r.Scale.Corpus.TestSize {
+		t.Fatalf("want %d fallbacks, got %d", r.Scale.Corpus.TestSize, res.Fallbacks)
+	}
+}

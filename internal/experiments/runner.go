@@ -15,9 +15,41 @@ import (
 
 	"neuroselect/internal/core"
 	"neuroselect/internal/dataset"
+	"neuroselect/internal/faultpoint"
 	"neuroselect/internal/portfolio"
 	"neuroselect/internal/satgraph"
 )
+
+// InstanceFailure is one isolated per-instance failure in a solving loop:
+// the run records it as a failure row and continues instead of aborting
+// the whole figure or table.
+type InstanceFailure struct {
+	// Name is the instance name.
+	Name string
+	// Stage names the step that failed (e.g. "kissat", "neuroselect").
+	Stage string
+	// Err is the contained failure, as text so results stay serializable.
+	Err string
+}
+
+func (f InstanceFailure) String() string {
+	return fmt.Sprintf("%s [%s]: %s", f.Name, f.Stage, f.Err)
+}
+
+// isolate runs one per-instance step with panic containment and the
+// experiments.instance fault point armed at its entry; any failure comes
+// back as an error for the caller to record as a failure row.
+func isolate(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	if err := faultpoint.Hit(faultpoint.ExperimentInstance); err != nil {
+		return err
+	}
+	return fn()
+}
 
 // Scale sizes an experiment run.
 type Scale struct {

@@ -146,6 +146,9 @@ type Table3Result struct {
 	// MedianImprovement is the paper's headline number: relative median
 	// reduction of NeuroSelect-Kissat vs Kissat.
 	MedianImprovement float64
+	// Failures are the isolated per-instance failures of the run; they
+	// appear as failure rows below the table instead of aborting it.
+	Failures []InstanceFailure
 }
 
 // Render prints the Table 3 analogue.
@@ -170,5 +173,8 @@ func (t Table3Result) Render() string {
 		}))
 	fmt.Fprintf(&sb, "  median improvement: %+.2f%% (paper reports +5.8%% runtime on industrial benchmarks)\n",
 		100*t.MedianImprovement)
+	for _, f := range t.Failures {
+		fmt.Fprintf(&sb, "  failure: %s\n", f)
+	}
 	return sb.String()
 }

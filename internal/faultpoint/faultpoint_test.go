@@ -1,0 +1,126 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+const site Site = "test.site"
+
+func TestUnarmedHitIsNoOp(t *testing.T) {
+	t.Cleanup(Reset)
+	if Active() {
+		t.Fatal("no site armed, Active must be false")
+	}
+	if err := Hit(site); err != nil {
+		t.Fatalf("unarmed hit returned %v", err)
+	}
+	if Hits(site) != 0 {
+		t.Fatal("unarmed site must not count hits")
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Arm(site, Fault{Err: boom})
+	if !Active() {
+		t.Fatal("armed site must report Active")
+	}
+	err := Hit(site)
+	if !errors.Is(err, boom) {
+		t.Fatalf("want wrapped boom, got %v", err)
+	}
+	Disarm(site)
+	if Active() {
+		t.Fatal("Disarm must clear Active")
+	}
+	if err := Hit(site); err != nil {
+		t.Fatalf("disarmed hit returned %v", err)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(site, Fault{PanicValue: "kaboom"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic fault must panic")
+		}
+	}()
+	_ = Hit(site)
+}
+
+func TestSkipAndTimesAreDeterministic(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Arm(site, Fault{Err: boom, Skip: 2, Times: 2})
+	var fired []int
+	for i := 0; i < 6; i++ {
+		if Hit(site) != nil {
+			fired = append(fired, i)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 2 || fired[1] != 3 {
+		t.Fatalf("want fires at hits 2,3; got %v", fired)
+	}
+	if Hits(site) != 6 {
+		t.Fatalf("want 6 hits counted, got %d", Hits(site))
+	}
+}
+
+func TestDelayFault(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(site, Fault{Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := Hit(site); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("delay fault returned after %v", d)
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	t.Cleanup(Reset)
+	boom := errors.New("boom")
+	Arm(site, Fault{Err: boom, Times: 5})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if Hit(site) != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 5 {
+		t.Fatalf("Times=5 must fire exactly 5 times, got %d", fired)
+	}
+	if Hits(site) != 80 {
+		t.Fatalf("want 80 hits, got %d", Hits(site))
+	}
+}
+
+func TestRearmResetsCounters(t *testing.T) {
+	t.Cleanup(Reset)
+	Arm(site, Fault{Err: errors.New("a"), Times: 1})
+	_ = Hit(site)
+	Arm(site, Fault{Err: errors.New("b"), Times: 1})
+	if Hits(site) != 0 {
+		t.Fatal("re-arming must reset hit counters")
+	}
+	if Hit(site) == nil {
+		t.Fatal("re-armed fault must fire again")
+	}
+}

@@ -78,9 +78,17 @@ func (c Confusion) String() string {
 type Summary struct {
 	Solved  int
 	Timeout int
+	// Failed counts instances whose solve failed outright (contained
+	// panic, malformed input) rather than timing out; like timeouts they
+	// are excluded from the median and average.
+	Failed  int
 	Median  float64
 	Average float64
 }
+
+// Total returns the number of instances the summary accounts for,
+// including timeouts and failures.
+func (s Summary) Total() int { return s.Solved + s.Timeout + s.Failed }
 
 // Summarize computes solved/median/average over per-instance measures;
 // entries with solved=false count as timeouts and are excluded from the

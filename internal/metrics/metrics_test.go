@@ -81,6 +81,23 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestSummaryFailedAccounting(t *testing.T) {
+	s := Summarize([]float64{10, 20}, []bool{true, false})
+	if s.Total() != 2 {
+		t.Fatalf("total = %d, want 2", s.Total())
+	}
+	// Failures are recorded by the caller on top of the solve outcomes
+	// (e.g. the experiments runner's isolated failure rows) and count
+	// toward the total without perturbing the medians.
+	s.Failed = 3
+	if s.Total() != 5 {
+		t.Fatalf("total with failures = %d, want 5", s.Total())
+	}
+	if s.Median != 10 || s.Average != 10 {
+		t.Fatalf("failures must not perturb medians: %+v", s)
+	}
+}
+
 func TestSummarizeMismatchedPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

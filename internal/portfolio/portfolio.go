@@ -6,12 +6,16 @@
 package portfolio
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	"neuroselect/internal/cnf"
 	"neuroselect/internal/core"
 	"neuroselect/internal/dataset"
 	"neuroselect/internal/deletion"
+	"neuroselect/internal/faultpoint"
 	"neuroselect/internal/satgraph"
 	"neuroselect/internal/solver"
 )
@@ -19,6 +23,24 @@ import (
 // NodeCapDefault mirrors the paper's 400,000-node filter: instances whose
 // graph exceeds the cap skip inference and use the default policy.
 const NodeCapDefault = 400000
+
+// ErrInferenceTimeout is the Choice.Err cause when model inference exceeds
+// Selector.InferenceTimeout.
+var ErrInferenceTimeout = errors.New("portfolio: model inference deadline exceeded")
+
+// Fallback reasons recorded in Choice.Fallback. An empty string means
+// inference ran and its probability drove the selection.
+const (
+	// FallbackNodeCap: the instance exceeded the node cap, inference was
+	// skipped by design.
+	FallbackNodeCap = "node-cap"
+	// FallbackPanic: inference panicked and was contained.
+	FallbackPanic = "inference-panic"
+	// FallbackTimeout: inference exceeded InferenceTimeout.
+	FallbackTimeout = "inference-timeout"
+	// FallbackError: inference failed with an error.
+	FallbackError = "inference-error"
+)
 
 // Selector chooses a deletion policy per instance using a trained
 // NeuroSelect model.
@@ -30,6 +52,10 @@ type Selector struct {
 	// NodeCap disables inference for graphs with more nodes (the paper's
 	// 400,000-node filter). Zero means NodeCapDefault.
 	NodeCap int
+	// InferenceTimeout bounds the one-time model call; when it is
+	// exceeded the selector falls back to the default policy, matching
+	// the paper's degrade-to-Kissat behaviour (0 = unbounded).
+	InferenceTimeout time.Duration
 }
 
 // NewSelector wraps a trained model with the standard threshold and node
@@ -42,31 +68,97 @@ func NewSelector(m *core.Model) *Selector {
 type Choice struct {
 	Policy deletion.Policy
 	// Prob is the model's probability for the frequency policy; negative
-	// when inference was skipped by the node cap.
+	// when inference was skipped or failed.
 	Prob float64
 	// Inference is the wall-clock cost of the one-time model call.
 	Inference time.Duration
+	// Fallback names why the default policy was chosen without a model
+	// probability: FallbackNodeCap, FallbackPanic, FallbackTimeout, or
+	// FallbackError. Empty when inference drove the selection.
+	Fallback string
+	// Err carries the contained inference failure behind a non-empty
+	// Fallback (nil for the node-cap skip).
+	Err error
 }
 
 // Choose runs the one-time inference and returns the selected policy.
+// Inference failures never propagate: a panicking, erroring, or
+// over-deadline model call degrades to the default (Kissat) policy with
+// the fallback reason recorded in the Choice.
 func (s *Selector) Choose(f *cnf.Formula) Choice {
 	cap := s.NodeCap
 	if cap == 0 {
 		cap = NodeCapDefault
 	}
 	if f.NumVars+len(f.Clauses) > cap {
-		return Choice{Policy: deletion.DefaultPolicy{}, Prob: -1}
+		return Choice{Policy: deletion.DefaultPolicy{}, Prob: -1, Fallback: FallbackNodeCap}
 	}
 	start := time.Now()
-	g := satgraph.BuildVCG(f)
-	prob := s.Model.PredictGraph(g)
+	prob, err := s.infer(f)
 	ch := Choice{Prob: prob, Inference: time.Since(start)}
+	if err != nil {
+		ch.Policy = deletion.DefaultPolicy{}
+		ch.Prob = -1
+		ch.Err = err
+		switch {
+		case errors.Is(err, ErrInferenceTimeout):
+			ch.Fallback = FallbackTimeout
+		case errors.Is(err, errInferencePanic):
+			ch.Fallback = FallbackPanic
+		default:
+			ch.Fallback = FallbackError
+		}
+		return ch
+	}
 	if prob >= s.Threshold {
 		ch.Policy = deletion.FrequencyPolicy{}
 	} else {
 		ch.Policy = deletion.DefaultPolicy{}
 	}
 	return ch
+}
+
+// errInferencePanic marks inference failures that originated as panics.
+var errInferencePanic = errors.New("portfolio: model inference panicked")
+
+// infer runs the model call with panic containment and, when
+// InferenceTimeout is set, a wall-clock bound. On timeout the abandoned
+// inference goroutine finishes (and is discarded) in the background — the
+// model call is pure CPU with no cancellation points, so the bound is on
+// the selector's latency, not the model's.
+func (s *Selector) infer(f *cnf.Formula) (float64, error) {
+	run := func() (prob float64, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%w: %v", errInferencePanic, r)
+			}
+		}()
+		if err := faultpoint.Hit(faultpoint.ModelInference); err != nil {
+			return 0, err
+		}
+		g := satgraph.BuildVCG(f)
+		return s.Model.PredictGraph(g), nil
+	}
+	if s.InferenceTimeout <= 0 {
+		return run()
+	}
+	type outcome struct {
+		prob float64
+		err  error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		p, err := run()
+		ch <- outcome{p, err}
+	}()
+	timer := time.NewTimer(s.InferenceTimeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.prob, o.err
+	case <-timer.C:
+		return 0, ErrInferenceTimeout
+	}
 }
 
 // Report is the outcome of one adaptive solve.
@@ -79,13 +171,23 @@ type Report struct {
 // Solve chooses a policy and solves under it with the experiment-standard
 // options and the given conflict budget.
 func (s *Selector) Solve(f *cnf.Formula, maxConflicts int64) (Report, error) {
+	return s.SolveContext(context.Background(), f, maxConflicts)
+}
+
+// SolveContext is Solve under a context: cancellation and deadlines abort
+// the underlying search with Unknown (see solver.SolveContext). A
+// contained solver panic is returned as both an error and an
+// error-carrying Unknown report, so callers can either fail or record the
+// instance and continue.
+func (s *Selector) SolveContext(ctx context.Context, f *cnf.Formula, maxConflicts int64) (Report, error) {
 	ch := s.Choose(f)
 	start := time.Now()
-	res, err := solver.Solve(f, dataset.SolveOptions(ch.Policy, maxConflicts))
+	res, err := solver.SolveContext(ctx, f, dataset.SolveOptions(ch.Policy, maxConflicts))
+	rep := Report{Choice: ch, Result: res, SolveTime: time.Since(start)}
 	if err != nil {
-		return Report{}, err
+		return rep, err
 	}
-	return Report{Choice: ch, Result: res, SolveTime: time.Since(start)}, nil
+	return rep, nil
 }
 
 // CalibrateThreshold grid-searches the decision threshold that maximizes

@@ -1,13 +1,16 @@
 package portfolio
 
 import (
-	"sync"
+	"context"
+	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
 	"neuroselect/internal/cnf"
 	"neuroselect/internal/dataset"
 	"neuroselect/internal/deletion"
+	"neuroselect/internal/faultpoint"
 	"neuroselect/internal/solver"
 )
 
@@ -18,6 +21,9 @@ type RaceReport struct {
 	Winner string
 	// WallTime is the race's wall-clock duration.
 	WallTime time.Duration
+	// Failures lists workers whose solve failed (panicked or errored);
+	// a race with at least one surviving worker still reports a result.
+	Failures []string
 }
 
 // Race solves the formula under the default and the frequency-guided
@@ -26,6 +32,16 @@ type RaceReport struct {
 // CPU — the hardware-hungry alternative to NeuroSelect's learned one-shot
 // selection, included as a baseline extension.
 func Race(f *cnf.Formula, maxConflicts int64) (RaceReport, error) {
+	return RaceContext(context.Background(), f, maxConflicts)
+}
+
+// RaceContext is Race under a context. Cancellation stops both workers
+// within a bounded number of propagations. Each worker runs with panic
+// recovery: a crashing worker is recorded in RaceReport.Failures and the
+// race continues on the survivor; only when every worker fails does
+// RaceContext return an error. The race never leaks goroutines — it
+// returns only after both workers have delivered their outcome.
+func RaceContext(ctx context.Context, f *cnf.Formula, maxConflicts int64) (RaceReport, error) {
 	type outcome struct {
 		res    solver.Result
 		err    error
@@ -34,38 +50,54 @@ func Race(f *cnf.Formula, maxConflicts int64) (RaceReport, error) {
 	var stop atomic.Bool
 	results := make(chan outcome, 2)
 	start := time.Now()
-	var wg sync.WaitGroup
 	for _, p := range []deletion.Policy{deletion.DefaultPolicy{}, deletion.FrequencyPolicy{}} {
-		wg.Add(1)
 		go func(p deletion.Policy) {
-			defer wg.Done()
+			o := outcome{policy: p.Name()}
+			defer func() {
+				if r := recover(); r != nil {
+					o.err = fmt.Errorf("portfolio: race worker %s: panic: %v", o.policy, r)
+				}
+				results <- o
+			}()
+			if err := faultpoint.Hit(faultpoint.RaceWorker); err != nil {
+				o.err = fmt.Errorf("portfolio: race worker %s: %w", o.policy, err)
+				return
+			}
 			opts := dataset.SolveOptions(p, maxConflicts)
 			opts.Interrupt = stop.Load
-			res, err := solver.Solve(f, opts)
-			results <- outcome{res: res, err: err, policy: p.Name()}
+			o.res, o.err = solver.SolveContext(ctx, f, opts)
 		}(p)
 	}
-	var first outcome
-	got := false
+	// Drain both workers unconditionally: this is the no-leak guarantee,
+	// and stride polling inside BCP bounds how long the loser can lag.
+	outs := make([]outcome, 0, 2)
 	for i := 0; i < 2; i++ {
 		o := <-results
-		if o.err != nil {
-			stop.Store(true)
-			wg.Wait()
-			return RaceReport{}, o.err
+		if o.err == nil && o.res.Status != solver.Unknown {
+			stop.Store(true) // decisive answer: interrupt the other worker
 		}
-		// Accept the first decisive answer; if the first finisher was
-		// interrupted or out of budget, fall back to the second.
-		if !got && (o.res.Status != solver.Unknown || i == 1) {
-			first = o
-			got = true
-			stop.Store(true)
+		outs = append(outs, o)
+	}
+	rep := RaceReport{WallTime: time.Since(start)}
+	var chosen *outcome
+	var failed []error
+	for i := range outs {
+		o := &outs[i]
+		if o.err != nil {
+			rep.Failures = append(rep.Failures, fmt.Sprintf("%s: %v", o.policy, o.err))
+			failed = append(failed, o.err)
+			continue
+		}
+		// Prefer the first decisive finisher; an Unknown first finisher is
+		// displaced by a decisive second.
+		if chosen == nil || (chosen.res.Status == solver.Unknown && o.res.Status != solver.Unknown) {
+			chosen = o
 		}
 	}
-	wg.Wait()
-	return RaceReport{
-		Result:   first.res,
-		Winner:   first.policy,
-		WallTime: time.Since(start),
-	}, nil
+	if chosen == nil {
+		return rep, fmt.Errorf("portfolio: race: all workers failed: %w", errors.Join(failed...))
+	}
+	rep.Result = chosen.res
+	rep.Winner = chosen.policy
+	return rep, nil
 }

@@ -1,8 +1,6 @@
 package solver
 
 import (
-	"fmt"
-
 	"neuroselect/internal/cnf"
 )
 
@@ -53,6 +51,10 @@ func (s *Solver) searchAssuming(assumptions []lit, conflictLimit int64) (Status,
 	conflictsHere := int64(0)
 	for {
 		conflict := s.propagate()
+		if s.budget != nil {
+			// A stride poll inside BCP raised a stop cause.
+			return Unknown, nil
+		}
 		if conflict != nil {
 			s.stats.Conflicts++
 			conflictsHere++
@@ -75,7 +77,11 @@ func (s *Solver) searchAssuming(assumptions []lit, conflictLimit int64) (Status,
 			s.decayVar()
 			s.decayClause()
 			if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
-				s.budget = errBudgetConflicts()
+				s.budget = ErrConflictBudget
+				return Unknown, nil
+			}
+			if err := s.checkStop(); err != nil {
+				s.budget = err
 				return Unknown, nil
 			}
 			if s.stats.Conflicts >= s.reduceLimit {
@@ -84,7 +90,7 @@ func (s *Solver) searchAssuming(assumptions []lit, conflictLimit int64) (Status,
 			continue
 		}
 		if s.opts.MaxPropagations > 0 && s.stats.Propagations >= s.opts.MaxPropagations {
-			s.budget = errBudgetPropagations()
+			s.budget = ErrPropagationBudget
 			return Unknown, nil
 		}
 		if conflictsHere >= conflictLimit {
@@ -207,6 +213,3 @@ func (s *Solver) coreOfFalsified(a lit, assumptions []lit) []cnf.Lit {
 	}
 	return core
 }
-
-func errBudgetConflicts() error    { return fmt.Errorf("%w: conflicts", ErrBudget) }
-func errBudgetPropagations() error { return fmt.Errorf("%w: propagations", ErrBudget) }

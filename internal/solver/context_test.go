@@ -1,0 +1,212 @@
+package solver
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/faultpoint"
+)
+
+// chainFormula builds an implication chain x1 → x2 → ... → xn. Deciding
+// x1 true triggers a single BCP run of n−1 propagations with no
+// conflicts, which is exactly the shape that starved the old
+// once-per-conflict interrupt poll.
+func chainFormula(n int) *cnf.Formula {
+	f := cnf.New(n)
+	for i := 1; i < n; i++ {
+		if err := f.AddClause(cnf.Lit(-i), cnf.Lit(i+1)); err != nil {
+			panic(err)
+		}
+	}
+	return f
+}
+
+// chainOptions makes the solver decide x1 positively so the whole chain
+// propagates in one call.
+func chainOptions() Options {
+	return Options{InitialPhase: true, InterruptEvery: 256}
+}
+
+func TestInterruptLatencyBoundedInsideBCP(t *testing.T) {
+	const n = 20000
+	opts := chainOptions()
+	// Raise the stop signal at the second poll, i.e. mid-chain: the old
+	// once-per-conflict poll would never fire (the chain is conflict-free)
+	// and the solver would run all n−1 propagations to fixpoint.
+	polls := 0
+	opts.Interrupt = func() bool { polls++; return polls >= 2 }
+	res, err := Solve(chainFormula(n), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unknown {
+		t.Fatalf("interrupted solve must be Unknown, got %v", res.Status)
+	}
+	if !errors.Is(res.Stop, ErrInterrupted) {
+		t.Fatalf("stop cause = %v, want ErrInterrupted", res.Stop)
+	}
+	if res.Stats.Propagations == 0 {
+		t.Fatal("the stop signal was raised mid-chain; some propagations must have run")
+	}
+	// The poll fires within one stride of the signal being raised.
+	if res.Stats.Propagations > 2*opts.InterruptEvery+16 {
+		t.Fatalf("interrupt latency: %d propagations past the stop signal (stride %d)",
+			res.Stats.Propagations, opts.InterruptEvery)
+	}
+}
+
+func TestDeadlineStopsSlowPropagationChain(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	// Each stride poll sleeps 2 ms: a deterministic stand-in for a slow
+	// propagation chain. With a 20 ms deadline the search must stop after
+	// a bounded number of polls, i.e. a bounded number of propagations.
+	faultpoint.Arm(faultpoint.SolverPropagate, faultpoint.Fault{Delay: 2 * time.Millisecond})
+	const n = 50000
+	opts := chainOptions()
+	opts.InterruptEvery = 64
+	opts.Deadline = time.Now().Add(20 * time.Millisecond)
+	res, err := Solve(chainFormula(n), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unknown {
+		t.Fatalf("deadline solve must be Unknown, got %v", res.Status)
+	}
+	if !errors.Is(res.Stop, ErrDeadline) {
+		t.Fatalf("stop cause = %v, want ErrDeadline", res.Stop)
+	}
+	if errors.Is(res.Stop, ErrConflictBudget) || errors.Is(res.Stop, ErrPropagationBudget) {
+		t.Fatalf("stop cause %v must not be a conflict/propagation budget", res.Stop)
+	}
+	// ~10 polls fit in the deadline; far fewer than the full chain.
+	if res.Stats.Propagations >= n-1 {
+		t.Fatalf("deadline did not bound the propagation chain: %d propagations", res.Stats.Propagations)
+	}
+}
+
+func TestContextDeadlineReportsDeadline(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	faultpoint.Arm(faultpoint.SolverPropagate, faultpoint.Fault{Delay: 2 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	opts := chainOptions()
+	opts.InterruptEvery = 64
+	res, err := SolveContext(ctx, chainFormula(50000), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unknown || !errors.Is(res.Stop, ErrDeadline) {
+		t.Fatalf("status=%v stop=%v, want Unknown/ErrDeadline", res.Status, res.Stop)
+	}
+}
+
+func TestContextCancellationReportsCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the first poll must see it
+	res, err := SolveContext(ctx, chainFormula(20000), chainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unknown || !errors.Is(res.Stop, ErrCanceled) {
+		t.Fatalf("status=%v stop=%v, want Unknown/ErrCanceled", res.Status, res.Stop)
+	}
+	if !errors.Is(res.Stop, ErrBudget) {
+		t.Fatal("stop causes must wrap ErrBudget")
+	}
+}
+
+func TestUndisturbedSolveCompletes(t *testing.T) {
+	// The chain with no stop sources must still solve to SAT.
+	res, err := Solve(chainFormula(5000), chainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Sat {
+		t.Fatalf("want Sat, got %v", res.Status)
+	}
+}
+
+func TestBudgetSentinelsIdentifyCause(t *testing.T) {
+	f := hardFormulaForBudget(t)
+	res, err := Solve(f, Options{MaxConflicts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unknown || !errors.Is(res.Stop, ErrConflictBudget) {
+		t.Fatalf("status=%v stop=%v, want Unknown/ErrConflictBudget", res.Status, res.Stop)
+	}
+	res, err = Solve(f, Options{MaxPropagations: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unknown || !errors.Is(res.Stop, ErrPropagationBudget) {
+		t.Fatalf("status=%v stop=%v, want Unknown/ErrPropagationBudget", res.Status, res.Stop)
+	}
+}
+
+// hardFormulaForBudget returns a pigeonhole-style formula hard enough to
+// exhaust tiny budgets (5 pigeons, 4 holes, built inline to avoid an
+// import cycle with internal/gen).
+func hardFormulaForBudget(t *testing.T) *cnf.Formula {
+	t.Helper()
+	const pigeons, holes = 5, 4
+	v := func(p, h int) cnf.Lit { return cnf.Lit(p*holes + h + 1) }
+	f := cnf.New(pigeons * holes)
+	for p := 0; p < pigeons; p++ {
+		cl := make([]cnf.Lit, holes)
+		for h := 0; h < holes; h++ {
+			cl[h] = v(p, h)
+		}
+		if err := f.AddClause(cl...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				if err := f.AddClause(-v(p1, h), -v(p2, h)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return f
+}
+
+func TestReducePanicContainedAsUnknown(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	faultpoint.Arm(faultpoint.SolverReduce, faultpoint.Fault{PanicValue: "reduce invariant violated"})
+	f := hardFormulaForBudget(t)
+	// ReduceFirst 10 guarantees the fault point is reached quickly.
+	res, err := Solve(f, Options{ReduceFirst: 10, ReduceInc: 10})
+	if err == nil {
+		t.Fatal("contained panic must surface as an error")
+	}
+	if !errors.Is(err, ErrSolvePanic) {
+		t.Fatalf("err = %v, want ErrSolvePanic", err)
+	}
+	if res.Status != Unknown {
+		t.Fatalf("contained panic must yield Unknown, got %v", res.Status)
+	}
+	if !errors.Is(res.Stop, ErrSolvePanic) {
+		t.Fatalf("res.Stop = %v, want ErrSolvePanic", res.Stop)
+	}
+	if faultpoint.Hits(faultpoint.SolverReduce) == 0 {
+		t.Fatal("fault point was never reached")
+	}
+}
+
+func TestInjectedPropagateErrorContained(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	faultpoint.Arm(faultpoint.SolverPropagate, faultpoint.Fault{Err: errors.New("bcp fault"), Skip: 2})
+	res, err := Solve(chainFormula(10000), chainOptions())
+	if !errors.Is(err, ErrSolvePanic) {
+		t.Fatalf("err = %v, want ErrSolvePanic", err)
+	}
+	if res.Status != Unknown {
+		t.Fatalf("want Unknown, got %v", res.Status)
+	}
+}

@@ -1,11 +1,28 @@
 package solver
 
+import "neuroselect/internal/faultpoint"
+
 // propagate performs Boolean constraint propagation over the two-watched-
 // literal scheme until fixpoint or conflict. It returns the conflicting
 // clause, or nil. Deleted clauses are dropped lazily from watch lists as
 // they are encountered.
+//
+// Every Options.InterruptEvery propagations it polls the stop sources
+// (context, deadline, Interrupt), so a long BCP chain cannot run
+// unbounded past a stop signal; a raised stop cause is left in s.budget
+// and propagation unwinds as if it reached fixpoint.
 func (s *Solver) propagate() *clause {
 	for s.qhead < len(s.trail) {
+		if s.stats.Propagations >= s.nextPoll {
+			s.nextPoll = s.stats.Propagations + s.opts.InterruptEvery
+			if err := faultpoint.Hit(faultpoint.SolverPropagate); err != nil {
+				panic(err) // contained by SolveContext's recovery
+			}
+			if err := s.checkStop(); err != nil {
+				s.budget = err
+				return nil
+			}
+		}
 		p := s.trail[s.qhead]
 		s.qhead++
 		// Clauses watching ¬p: p just became true, so their watched literal

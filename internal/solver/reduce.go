@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"neuroselect/internal/deletion"
+	"neuroselect/internal/faultpoint"
 )
 
 // reduce deletes the lowest-ranked fraction of reducible learned clauses
@@ -11,6 +12,12 @@ import (
 // propagation-frequency window (Eq. 2 counts "since the last clause
 // deletion").
 func (s *Solver) reduce() {
+	if err := faultpoint.Hit(faultpoint.SolverReduce); err != nil {
+		// A failing reduction is an internal invariant violation; escalate
+		// to a panic so SolveContext's containment converts it into an
+		// error-carrying Unknown result.
+		panic(err)
+	}
 	s.stats.Reductions++
 	s.reduceLimit = s.stats.Conflicts + s.opts.ReduceFirst + s.opts.ReduceInc*s.stats.Reductions
 

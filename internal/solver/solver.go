@@ -11,9 +11,11 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"neuroselect/internal/cnf"
 	"neuroselect/internal/deletion"
@@ -85,9 +87,19 @@ type Options struct {
 	// UNSAT runs the stream (followed by unit propagation on the remaining
 	// set) certifies the result; see the drat package's checker.
 	Proof ProofLogger
-	// Interrupt, when non-nil, is polled once per conflict; returning true
-	// aborts the search with Unknown. Used by parallel portfolio racing.
+	// Interrupt, when non-nil, is polled once per conflict and every
+	// InterruptEvery propagations; returning true aborts the search with
+	// Unknown. Used by parallel portfolio racing.
 	Interrupt func() bool
+	// Deadline, when non-zero, aborts the search with Unknown once the
+	// wall clock passes it; the stop cause is ErrDeadline. It is the
+	// reproduction's analogue of the paper's 5,000-second cutoff.
+	Deadline time.Time
+	// InterruptEvery is the propagation stride between stop polls
+	// (context, deadline, Interrupt) inside long BCP chains; it bounds
+	// cancellation latency even when the search produces no conflicts
+	// (default 2048).
+	InterruptEvery int64
 }
 
 // ProofLogger receives clause additions and deletions in DIMACS literals;
@@ -124,6 +136,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.Tier1Glue == 0 {
 		o.Tier1Glue = 2
+	}
+	if o.InterruptEvery == 0 {
+		o.InterruptEvery = 2048
 	}
 }
 
@@ -195,6 +210,11 @@ type Solver struct {
 	ok     bool // false once top-level conflict is found
 	budget error
 
+	// ctx is the cancellation context of the current SolveContext call;
+	// nextPoll is the propagation count at which BCP polls checkStop next.
+	ctx      context.Context
+	nextPoll int64
+
 	reduceLimit int64
 
 	model cnf.Assignment
@@ -202,6 +222,27 @@ type Solver struct {
 
 // ErrBudget is wrapped by solve results that ran out of a resource budget.
 var ErrBudget = errors.New("solver: resource budget exhausted")
+
+// Stop causes. Every Unknown result stops for exactly one of these
+// reasons; all wrap ErrBudget so existing errors.Is(err, ErrBudget)
+// checks keep working, and each is individually matchable to tell a
+// conflict/propagation budget from a wall-clock deadline or cancellation.
+var (
+	// ErrConflictBudget: Options.MaxConflicts expired.
+	ErrConflictBudget = fmt.Errorf("%w: conflicts", ErrBudget)
+	// ErrPropagationBudget: Options.MaxPropagations expired.
+	ErrPropagationBudget = fmt.Errorf("%w: propagations", ErrBudget)
+	// ErrInterrupted: Options.Interrupt returned true.
+	ErrInterrupted = fmt.Errorf("%w: interrupted", ErrBudget)
+	// ErrDeadline: Options.Deadline or the context deadline passed.
+	ErrDeadline = fmt.Errorf("%w: deadline", ErrBudget)
+	// ErrCanceled: the SolveContext context was canceled.
+	ErrCanceled = fmt.Errorf("%w: canceled", ErrBudget)
+)
+
+// ErrSolvePanic wraps a panic recovered during a solve; the result is
+// reported as an error-carrying Unknown instead of crashing the caller.
+var ErrSolvePanic = errors.New("solver: panic recovered during solve")
 
 // New builds a solver for the formula. Empty clauses make the solver start
 // in the unsatisfiable state; unit clauses are enqueued at level zero.
@@ -413,13 +454,24 @@ func (s *Solver) decayClause() { s.clsInc /= s.opts.ClauseDecay }
 
 // Solve runs the CDCL search until the formula is decided or a budget
 // expires.
-func (s *Solver) Solve() Status {
+func (s *Solver) Solve() Status { return s.SolveContext(context.Background()) }
+
+// SolveContext is Solve under a context: cancellation and the context
+// deadline abort the search with Unknown, with the cause (ErrCanceled or
+// ErrDeadline) reported by BudgetExhausted. Cancellation latency is
+// bounded by Options.InterruptEvery propagations.
+func (s *Solver) SolveContext(ctx context.Context) Status {
+	s.ctx = ctx
+	defer func() { s.ctx = nil }()
 	if !s.ok {
 		return Unsat
 	}
 	if conflict := s.propagate(); conflict != nil {
 		s.ok = false
 		return Unsat
+	}
+	if s.budget != nil {
+		return Unknown
 	}
 	restarts := int64(0)
 	for {
@@ -436,11 +488,39 @@ func (s *Solver) Solve() Status {
 	}
 }
 
+// checkStop evaluates every asynchronous stop source — context
+// cancellation, wall-clock deadline, and the Interrupt callback — and
+// returns the matching stop cause, or nil to keep searching.
+func (s *Solver) checkStop() error {
+	if s.ctx != nil {
+		select {
+		case <-s.ctx.Done():
+			if errors.Is(s.ctx.Err(), context.DeadlineExceeded) {
+				return ErrDeadline
+			}
+			return ErrCanceled
+		default:
+		}
+	}
+	if !s.opts.Deadline.IsZero() && time.Now().After(s.opts.Deadline) {
+		return ErrDeadline
+	}
+	if s.opts.Interrupt != nil && s.opts.Interrupt() {
+		return ErrInterrupted
+	}
+	return nil
+}
+
 // search runs until a result, a restart limit, or a budget boundary.
 func (s *Solver) search(conflictLimit int64) Status {
 	conflictsHere := int64(0)
 	for {
 		conflict := s.propagate()
+		if s.budget != nil {
+			// A stride poll inside BCP raised a stop cause.
+			s.cancelUntil(0)
+			return Unknown
+		}
 		if conflict != nil {
 			s.stats.Conflicts++
 			conflictsHere++
@@ -454,12 +534,12 @@ func (s *Solver) search(conflictLimit int64) Status {
 			s.decayVar()
 			s.decayClause()
 			if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
-				s.budget = fmt.Errorf("%w: conflicts", ErrBudget)
+				s.budget = ErrConflictBudget
 				s.cancelUntil(0)
 				return Unknown
 			}
-			if s.opts.Interrupt != nil && s.opts.Interrupt() {
-				s.budget = fmt.Errorf("%w: interrupted", ErrBudget)
+			if err := s.checkStop(); err != nil {
+				s.budget = err
 				s.cancelUntil(0)
 				return Unknown
 			}
@@ -469,7 +549,7 @@ func (s *Solver) search(conflictLimit int64) Status {
 			continue
 		}
 		if s.opts.MaxPropagations > 0 && s.stats.Propagations >= s.opts.MaxPropagations {
-			s.budget = fmt.Errorf("%w: propagations", ErrBudget)
+			s.budget = ErrPropagationBudget
 			s.cancelUntil(0)
 			return Unknown
 		}

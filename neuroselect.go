@@ -16,8 +16,10 @@
 package neuroselect
 
 import (
+	"context"
 	"errors"
 	"io"
+	"time"
 
 	"neuroselect/internal/cnf"
 	"neuroselect/internal/core"
@@ -55,6 +57,22 @@ const (
 	Unsat   = solver.Unsat
 )
 
+// Stop causes for Unknown results (Result.Stop); all wrap ErrBudget.
+var (
+	// ErrBudget is the umbrella cause: some resource budget expired.
+	ErrBudget = solver.ErrBudget
+	// ErrDeadline: the wall-clock deadline (SolveConfig.Timeout or the
+	// context deadline) passed.
+	ErrDeadline = solver.ErrDeadline
+	// ErrCanceled: the SolveContext context was canceled.
+	ErrCanceled = solver.ErrCanceled
+	// ErrConflictBudget: SolveConfig.MaxConflicts expired.
+	ErrConflictBudget = solver.ErrConflictBudget
+	// ErrSolvePanic: a panic during the search was contained and reported
+	// as an error-carrying Unknown result.
+	ErrSolvePanic = solver.ErrSolvePanic
+)
+
 // NewFormula returns an empty formula over n variables.
 func NewFormula(n int) *Formula { return cnf.New(n) }
 
@@ -80,10 +98,22 @@ type SolveConfig struct {
 	// answers (written via drat.NewWriter). Incompatible with Preprocess,
 	// whose eliminations are not proof-logged.
 	Proof *drat.Writer
+	// Timeout bounds wall-clock solve time; expiry returns Unknown with
+	// Result.Stop = ErrDeadline (0 = unbounded). The analogue of the
+	// paper's 5,000-second cutoff.
+	Timeout time.Duration
 }
 
 // Solve decides the formula under a fixed deletion policy.
 func Solve(f *Formula, cfg SolveConfig) (Result, error) {
+	return SolveContext(context.Background(), f, cfg)
+}
+
+// SolveContext is Solve under a context: cancellation and deadlines (the
+// context's, or now+cfg.Timeout, whichever is earlier) abort the search
+// with Unknown within a bounded number of propagations, and Result.Stop
+// identifies the cause (ErrDeadline, ErrCanceled, ErrConflictBudget, ...).
+func SolveContext(ctx context.Context, f *Formula, cfg SolveConfig) (Result, error) {
 	name := cfg.Policy
 	if name == "" {
 		name = "default"
@@ -93,6 +123,9 @@ func Solve(f *Formula, cfg SolveConfig) (Result, error) {
 		return Result{}, err
 	}
 	opts := dataset.SolveOptions(pol, cfg.MaxConflicts)
+	if cfg.Timeout > 0 {
+		opts.Deadline = time.Now().Add(cfg.Timeout)
+	}
 	if cfg.Proof != nil {
 		if cfg.Preprocess {
 			return Result{}, errors.New("neuroselect: Proof and Preprocess cannot be combined")
@@ -100,13 +133,13 @@ func Solve(f *Formula, cfg SolveConfig) (Result, error) {
 		opts.Proof = cfg.Proof
 	}
 	if !cfg.Preprocess {
-		return solver.Solve(f, opts)
+		return solver.SolveContext(ctx, f, opts)
 	}
 	pre := simp.Simplify(f, simp.Options{})
 	if pre.ProvenUnsat {
 		return Result{Status: Unsat}, nil
 	}
-	res, err := solver.Solve(pre.F, opts)
+	res, err := solver.SolveContext(ctx, pre.F, opts)
 	if err != nil {
 		return res, err
 	}

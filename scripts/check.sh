@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 gate: build, vet, full test suite, then the race detector on the
+# concurrency-bearing packages (portfolio racing, experiments runner,
+# solver cancellation). Run from the repo root via `make check` or
+# `./scripts/check.sh`.
+set -eu
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (concurrency-bearing packages)"
+go test -race ./internal/portfolio/... ./internal/experiments/... ./internal/solver/... ./internal/faultpoint/...
+
+echo "check: all gates passed"
