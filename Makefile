@@ -2,10 +2,11 @@
 
 GO ?= go
 
-.PHONY: check build vet test race
+.PHONY: check build vet test race cover
 
 ## check: the tier-1 gate — build, vet, all tests, race detector on the
-## concurrency-bearing packages. CI and pre-merge both run this.
+## concurrency-bearing packages, and the experiments coverage floor. CI and
+## pre-merge both run this.
 check:
 	./scripts/check.sh
 
@@ -19,4 +20,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/portfolio/... ./internal/experiments/... ./internal/solver/... ./internal/faultpoint/...
+	$(GO) test -race ./internal/experiments ./internal/portfolio ./internal/sweep ./internal/metrics ./internal/dataset ./internal/solver ./internal/faultpoint
+
+## cover: per-package coverage summary for the sweep/experiments stack.
+cover:
+	$(GO) test -count=1 -covermode=atomic -cover ./internal/experiments ./internal/sweep ./internal/metrics ./internal/dataset

@@ -2,23 +2,37 @@
 //
 // Usage:
 //
-//	experiments [-scale quick|default] [-only fig3|fig4|fig5|table1|table2|fig7|table3] [-seed N]
+//	experiments [-scale quick|default] [-only fig3|fig4|fig5|table1|table2|fig7|table3]
+//	            [-seed N] [-j N] [-cell-timeout D] [-sweep-deadline D] [-deterministic]
+//
+// The instance×policy matrix of every experiment is sharded across -j
+// workers; aggregation is deterministic, so the rendered tables and JSON
+// are identical for any worker count. Ctrl-C (SIGINT/SIGTERM) cancels the
+// parent context, draining all in-flight sweep workers before exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"neuroselect/internal/experiments"
 )
 
 func main() {
 	scaleName := flag.String("scale", "default", "experiment scale: quick or default")
-	only := flag.String("only", "", "run a single experiment (fig3, fig4, fig5, table1, table2, fig7, table3, ext-policies, ext-selectors, ext-alpha)")
+	only := flag.String("only", "", "run a single experiment (fig3, fig4, fig5, table1, table2, fig7, table3, ext-policies, ext-selectors, ext-alpha, ext-scaling)")
 	seed := flag.Int64("seed", 0, "override the corpus seed (0 keeps the preset)")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable JSON document instead of text reports")
+	workers := flag.Int("j", 0, "sweep worker count (0 = GOMAXPROCS)")
+	cellTimeout := flag.Duration("cell-timeout", 0, "per-cell solve deadline (0 = none)")
+	sweepDeadline := flag.Duration("sweep-deadline", 0, "whole-run deadline (0 = none)")
+	deterministic := flag.Bool("deterministic", false, "replace wall-clock readings with propagation-derived pseudo-time so output is byte-identical across runs and worker counts")
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -34,22 +48,38 @@ func main() {
 	if *seed != 0 {
 		scale.Corpus.Seed = *seed
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *sweepDeadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *sweepDeadline)
+		defer cancel()
+	}
+
 	r := experiments.NewRunner(scale)
+	r.BaseContext = ctx
+	r.Workers = *workers
+	r.CellTimeout = *cellTimeout
+	r.Deterministic = *deterministic
 	if !*quiet {
 		r.Log = os.Stderr
 	}
+	start := time.Now()
+	var err error
 	if *jsonOut {
 		if *only != "" {
 			fmt.Fprintln(os.Stderr, "-json runs all experiments; -only is ignored")
 		}
-		if err := r.RunAllJSON(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
+		err = r.RunAllJSON(os.Stdout)
+	} else {
+		err = r.RunAll(os.Stdout, *only)
 	}
-	if err := r.RunAll(os.Stdout, *only); err != nil {
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "experiments: done in %s (workers=%d)\n", time.Since(start).Round(time.Millisecond), r.Sweep.NumWorkers())
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"neuroselect/internal/autodiff"
 	"neuroselect/internal/cnf"
@@ -70,13 +71,20 @@ type hgtLayer struct {
 	attn *attnLayer
 }
 
-// Model is the NeuroSelect classifier.
+// Model is the NeuroSelect classifier. Predict/PredictGraph are safe for
+// concurrent use; training and Load are not.
 type Model struct {
 	Cfg    Config
 	Params *nn.Params
 
 	layers []*hgtLayer
 	head   *nn.MLP
+
+	// inferMu serializes inference: the forward pass binds Params to a
+	// fresh tape through shared Params state, so concurrent callers (the
+	// parallel sweep engine's cells) must take turns. Inference is a
+	// one-time cost per instance, small next to the solve it gates.
+	inferMu sync.Mutex
 }
 
 // NewModel constructs a model with freshly initialized parameters.
@@ -165,6 +173,8 @@ func (m *Model) Predict(f *cnf.Formula) float64 {
 
 // PredictGraph is Predict for a pre-built graph.
 func (m *Model) PredictGraph(g *satgraph.VCG) float64 {
+	m.inferMu.Lock()
+	defer m.inferMu.Unlock()
 	t := autodiff.NewTape()
 	m.Params.Bind(t)
 	logit := m.Logit(t, g)

@@ -10,6 +10,7 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -17,6 +18,7 @@ import (
 	"neuroselect/internal/deletion"
 	"neuroselect/internal/gen"
 	"neuroselect/internal/solver"
+	"neuroselect/internal/sweep"
 )
 
 // Labeled is one dataset entry: an instance, the dual-solve measurements,
@@ -64,6 +66,11 @@ type Config struct {
 	MaxConflicts int64
 	// Seed drives all generation.
 	Seed int64
+	// Workers bounds the parallel labeling pool (0 → runtime.NumCPU()).
+	// Generation and labeling are pure functions of the per-instance seed
+	// and results are collected in index order, so the corpus is identical
+	// for every worker count.
+	Workers int
 }
 
 func (c *Config) fillDefaults() {
@@ -99,11 +106,17 @@ func SolveOptions(p deletion.Policy, maxConflicts int64) solver.Options {
 // Label measures the formula under both deletion policies and applies the
 // §5.1 2%-reduction rule.
 func Label(inst gen.Instance, maxConflicts int64) (Labeled, error) {
-	resDefault, err := solver.Solve(inst.F, SolveOptions(deletion.DefaultPolicy{}, maxConflicts))
+	return LabelContext(context.Background(), inst, maxConflicts)
+}
+
+// LabelContext is Label under a context: cancellation aborts the underlying
+// solves (see solver.SolveContext).
+func LabelContext(ctx context.Context, inst gen.Instance, maxConflicts int64) (Labeled, error) {
+	resDefault, err := solver.SolveContext(ctx, inst.F, SolveOptions(deletion.DefaultPolicy{}, maxConflicts))
 	if err != nil {
 		return Labeled{}, fmt.Errorf("dataset: labeling %s (default): %w", inst.Name, err)
 	}
-	resFreq, err := solver.Solve(inst.F, SolveOptions(deletion.FrequencyPolicy{}, maxConflicts))
+	resFreq, err := solver.SolveContext(ctx, inst.F, SolveOptions(deletion.FrequencyPolicy{}, maxConflicts))
 	if err != nil {
 		return Labeled{}, fmt.Errorf("dataset: labeling %s (frequency): %w", inst.Name, err)
 	}
@@ -122,17 +135,26 @@ func Label(inst gen.Instance, maxConflicts int64) (Labeled, error) {
 
 // Build generates and labels a full corpus.
 func Build(cfg Config) (*Corpus, error) {
+	return BuildContext(context.Background(), cfg)
+}
+
+// BuildContext is Build under a context. Labeling — two solves per instance,
+// the dominant cost — is sharded across a bounded worker pool
+// (cfg.Workers); per-instance seeding and index-ordered collection keep the
+// corpus byte-identical for every worker count. Cancellation drains the
+// pool and returns the context error.
+func BuildContext(ctx context.Context, cfg Config) (*Corpus, error) {
 	cfg.fillDefaults()
 	corpus := &Corpus{}
 	for s := 0; s < cfg.TrainStrata; s++ {
 		name := fmt.Sprintf("train-%d", 2016+s)
-		st, err := buildStratum(name, cfg.PerStratum, cfg.Scale, cfg.Seed+int64(s)*1000, cfg.MaxConflicts)
+		st, err := buildStratum(ctx, cfg, name, cfg.PerStratum, cfg.Seed+int64(s)*1000)
 		if err != nil {
 			return nil, err
 		}
 		corpus.Train = append(corpus.Train, st)
 	}
-	test, err := buildStratum("test-2022", cfg.TestSize, cfg.Scale, cfg.Seed+7777, cfg.MaxConflicts)
+	test, err := buildStratum(ctx, cfg, "test-2022", cfg.TestSize, cfg.Seed+7777)
 	if err != nil {
 		return nil, err
 	}
@@ -141,18 +163,20 @@ func Build(cfg Config) (*Corpus, error) {
 }
 
 // buildStratum generates count instances across the generator families and
-// labels each.
-func buildStratum(name string, count int, scale float64, seed, maxConflicts int64) (Stratum, error) {
-	st := Stratum{Name: name}
-	for i := 0; i < count; i++ {
-		inst := Generate(seed+int64(i)*13, scale)
-		lab, err := Label(inst, maxConflicts)
-		if err != nil {
-			return Stratum{}, err
-		}
-		st.Items = append(st.Items, lab)
+// labels each cell of the stratum in parallel.
+func buildStratum(ctx context.Context, cfg Config, name string, count int, seed int64) (Stratum, error) {
+	items, errs := sweep.Map(ctx, sweep.Options{Workers: cfg.Workers}, count,
+		func(ctx context.Context, i int) (Labeled, error) {
+			inst := Generate(seed+int64(i)*13, cfg.Scale)
+			return LabelContext(ctx, inst, cfg.MaxConflicts)
+		})
+	if err := sweep.FirstError(errs); err != nil {
+		return Stratum{}, err
 	}
-	return st, nil
+	if err := ctx.Err(); err != nil {
+		return Stratum{}, err
+	}
+	return Stratum{Name: name, Items: items}, nil
 }
 
 // Generate draws one instance from the family mixture, deterministically in

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -8,6 +9,7 @@ import (
 	"neuroselect/internal/deletion"
 	"neuroselect/internal/metrics"
 	"neuroselect/internal/solver"
+	"neuroselect/internal/sweep"
 )
 
 // PolicyPoolResult is an extension experiment beyond the paper's
@@ -25,7 +27,8 @@ type PolicyPoolResult struct {
 	Instances    int
 }
 
-// PolicyPool solves every corpus instance under all four policies.
+// PolicyPool solves every corpus instance under all four policies, sharding
+// the instance×policy matrix across the sweep engine.
 func (r *Runner) PolicyPool() (PolicyPoolResult, error) {
 	c, err := r.Corpus()
 	if err != nil {
@@ -44,17 +47,22 @@ func (r *Runner) PolicyPool() (PolicyPoolResult, error) {
 	solved := make([][]bool, len(pool))
 	var oracle []float64
 	var oracleSolved []bool
-	for _, it := range items {
+	cells, errs := sweepCells(r, "ext-policies", len(items)*len(pool),
+		func(ctx context.Context, i int) (solver.Result, error) {
+			it, p := items[i/len(pool)], pool[i%len(pool)]
+			return solver.SolveContext(ctx, it.Inst.F, dataset.SolveOptions(p, r.Scale.ScatterBudget))
+		})
+	if err := sweep.FirstError(errs); err != nil {
+		return PolicyPoolResult{}, err
+	}
+	for j := range items {
 		best := -1.0
 		bestIdx := -1
 		anySolved := false
 		row := make([]float64, len(pool))
 		rowSolved := make([]bool, len(pool))
-		for i, p := range pool {
-			sres, err := solver.Solve(it.Inst.F, dataset.SolveOptions(p, r.Scale.ScatterBudget))
-			if err != nil {
-				return PolicyPoolResult{}, err
-			}
+		for i := range pool {
+			sres := cells[j*len(pool)+i]
 			row[i] = float64(sres.Stats.Propagations)
 			rowSolved[i] = sres.Status != solver.Unknown
 			if rowSolved[i] {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -9,6 +10,7 @@ import (
 	"neuroselect/internal/metrics"
 	"neuroselect/internal/portfolio"
 	"neuroselect/internal/solver"
+	"neuroselect/internal/sweep"
 )
 
 // SelectorsResult is the second extension experiment: it pits the learned
@@ -52,7 +54,12 @@ func (r *Runner) Selectors() (SelectorsResult, error) {
 	var defCost, neuroCost, logitCost, raceProps, raceMS []float64
 	var solved []bool
 	budget := r.Scale.ScatterBudget
-	for _, it := range c.Test.Items {
+	items := c.Test.Items
+	// Predictions run serially up front (both predictors share model state);
+	// the expensive part — one 2-worker race per instance — is sharded
+	// across the sweep engine. Race outcomes depend on scheduling, so this
+	// experiment is outside the byte-identical determinism guarantee.
+	for _, it := range items {
 		out.Logistic.Add(logit.Predict(it.Inst.F) >= 0.5, it.Label == 1)
 		out.NeuroSelect.Add(sel.Model.Predict(it.Inst.F) >= 0.5, it.Label == 1)
 
@@ -69,11 +76,16 @@ func (r *Runner) Selectors() (SelectorsResult, error) {
 		}
 		neuroCost = append(neuroCost, pick(sel.Model.Predict(it.Inst.F), sel.Threshold))
 		logitCost = append(logitCost, pick(logit.Predict(it.Inst.F), logitTh))
-
-		race, err := portfolio.Race(it.Inst.F, budget)
-		if err != nil {
-			return SelectorsResult{}, err
-		}
+	}
+	races, errs := sweepCells(r, "ext-selectors", len(items),
+		func(ctx context.Context, i int) (portfolio.RaceReport, error) {
+			return portfolio.RaceContext(ctx, items[i].Inst.F, budget)
+		})
+	if err := sweep.FirstError(errs); err != nil {
+		return SelectorsResult{}, err
+	}
+	for i, it := range items {
+		race := races[i]
 		raceProps = append(raceProps, float64(race.Result.Stats.Propagations))
 		raceMS = append(raceMS, float64(race.WallTime.Microseconds())/1000)
 		solved = append(solved, it.SolvedBoth && race.Result.Status != solver.Unknown)

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"neuroselect/internal/dataset"
 	"neuroselect/internal/deletion"
 	"neuroselect/internal/solver"
+	"neuroselect/internal/sweep"
 )
 
 // AlphaSweepResult probes the Eq. 2 threshold factor α, which the paper
@@ -25,7 +27,8 @@ type AlphaSweepResult struct {
 	Instances int
 }
 
-// AlphaSweep relabels the corpus under several α values.
+// AlphaSweep relabels the corpus under several α values, sharding the
+// α×instance grid across the sweep engine.
 func (r *Runner) AlphaSweep() (AlphaSweepResult, error) {
 	c, err := r.Corpus()
 	if err != nil {
@@ -34,17 +37,21 @@ func (r *Runner) AlphaSweep() (AlphaSweepResult, error) {
 	items := append(c.All(), c.Test.Items...)
 	res := AlphaSweepResult{Alphas: []float64{0.5, 0.7, 0.8, 0.9}}
 	res.Instances = len(items)
-	for _, alpha := range res.Alphas {
+	cells, errs := sweepCells(r, "ext-alpha", len(res.Alphas)*len(items),
+		func(ctx context.Context, i int) (solver.Result, error) {
+			opts := dataset.SolveOptions(deletion.FrequencyPolicy{}, r.Scale.ScatterBudget)
+			opts.Alpha = res.Alphas[i/len(items)]
+			return solver.SolveContext(ctx, items[i%len(items)].Inst.F, opts)
+		})
+	if err := sweep.FirstError(errs); err != nil {
+		return AlphaSweepResult{}, err
+	}
+	for a := range res.Alphas {
 		wins, diverged := 0, 0
 		gain := 0.0
 		n := 0
-		for _, it := range items {
-			opts := dataset.SolveOptions(deletion.FrequencyPolicy{}, r.Scale.ScatterBudget)
-			opts.Alpha = alpha
-			fres, err := solver.Solve(it.Inst.F, opts)
-			if err != nil {
-				return AlphaSweepResult{}, err
-			}
+		for j, it := range items {
+			fres := cells[a*len(items)+j]
 			if fres.Status == solver.Unknown && !it.SolvedBoth {
 				continue
 			}

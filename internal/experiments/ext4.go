@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"neuroselect/internal/dataset"
-	"neuroselect/internal/deletion"
 	"neuroselect/internal/gen"
 	"neuroselect/internal/solver"
+	"neuroselect/internal/sweep"
 )
 
 // ScalingResult is the fourth extension experiment: how the two deletion
@@ -29,26 +30,32 @@ type ScalingResult struct {
 	SeedsPerSize    int
 }
 
-// Scaling measures policy divergence across instance sizes.
+// Scaling measures policy divergence across instance sizes, sharding the
+// size×seed×policy grid across the sweep engine.
 func (r *Runner) Scaling() (ScalingResult, error) {
 	res := ScalingResult{
 		Sizes:        []int{60, 100, 140, 180, 220},
 		SeedsPerSize: 6,
 	}
-	for _, n := range res.Sizes {
+	seeds := res.SeedsPerSize
+	cells, errs := sweepCells(r, "ext-scaling", len(res.Sizes)*seeds*len(fig4Policies),
+		func(ctx context.Context, i int) (solver.Result, error) {
+			n := res.Sizes[i/(seeds*len(fig4Policies))]
+			seed := int64(i / len(fig4Policies) % seeds)
+			p := fig4Policies[i%len(fig4Policies)]
+			inst := gen.RandomKSAT(n, int(4.26*float64(n)), 3, 1000+seed)
+			return solver.SolveContext(ctx, inst.F, dataset.SolveOptions(p, r.Scale.ScatterBudget))
+		})
+	if err := sweep.FirstError(errs); err != nil {
+		return ScalingResult{}, err
+	}
+	for si := range res.Sizes {
 		var props, deltaSum float64
 		diverged := 0
 		counted := 0
-		for seed := int64(0); seed < int64(res.SeedsPerSize); seed++ {
-			inst := gen.RandomKSAT(n, int(4.26*float64(n)), 3, 1000+seed)
-			d, err := solver.Solve(inst.F, dataset.SolveOptions(deletion.DefaultPolicy{}, r.Scale.ScatterBudget))
-			if err != nil {
-				return ScalingResult{}, err
-			}
-			f, err := solver.Solve(inst.F, dataset.SolveOptions(deletion.FrequencyPolicy{}, r.Scale.ScatterBudget))
-			if err != nil {
-				return ScalingResult{}, err
-			}
+		for seed := 0; seed < seeds; seed++ {
+			base := si*seeds*len(fig4Policies) + seed*len(fig4Policies)
+			d, f := cells[base], cells[base+1]
 			if d.Status == solver.Unknown || f.Status == solver.Unknown {
 				continue
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"neuroselect/internal/dataset"
 	"neuroselect/internal/deletion"
 	"neuroselect/internal/solver"
+	"neuroselect/internal/sweep"
 )
 
 // ScatterPoint is one instance in a Figure 4 / Figure 7(a) scatter:
@@ -35,37 +37,52 @@ type ScatterResult struct {
 	MeanRelGain float64
 }
 
+// fig4Policies is the two-column policy axis of the Figure 4 sweep matrix.
+var fig4Policies = []deletion.Policy{deletion.DefaultPolicy{}, deletion.FrequencyPolicy{}}
+
+// timedResult is one sweep cell's outcome: a solve plus its (possibly
+// deterministic-mode) duration.
+type timedResult struct {
+	Res solver.Result
+	Dur time.Duration
+}
+
 // Fig4 reproduces Figure 4: each test-pool instance is solved under the
 // default and the frequency-guided deletion policies; instances unsolved
-// by both policies are excluded, as in the paper.
+// by both policies are excluded, as in the paper. The instance×policy
+// matrix is sharded across the sweep engine; aggregation walks cells in
+// instance order, so the scatter is identical for every worker count.
 func (r *Runner) Fig4() (ScatterResult, error) {
 	c, err := r.Corpus()
 	if err != nil {
 		return ScatterResult{}, err
 	}
 	res := ScatterResult{Title: "Figure 4 — Kissat default vs. frequency-guided deletion"}
-	for _, it := range append(c.All(), c.Test.Items...) {
-		budget := r.Scale.ScatterBudget
-		start := time.Now()
-		d, err := solver.Solve(it.Inst.F, dataset.SolveOptions(deletion.DefaultPolicy{}, budget))
-		if err != nil {
-			return ScatterResult{}, err
-		}
-		dT := time.Since(start)
-		start = time.Now()
-		f, err := solver.Solve(it.Inst.F, dataset.SolveOptions(deletion.FrequencyPolicy{}, budget))
-		if err != nil {
-			return ScatterResult{}, err
-		}
-		fT := time.Since(start)
-		if d.Status == solver.Unknown && f.Status == solver.Unknown {
+	items := append(c.All(), c.Test.Items...)
+	budget := r.Scale.ScatterBudget
+	cells, errs := sweepCells(r, "fig4", len(items)*len(fig4Policies),
+		func(ctx context.Context, i int) (timedResult, error) {
+			it, p := items[i/len(fig4Policies)], fig4Policies[i%len(fig4Policies)]
+			start := time.Now()
+			sres, err := solver.SolveContext(ctx, it.Inst.F, dataset.SolveOptions(p, budget))
+			if err != nil {
+				return timedResult{}, err
+			}
+			return timedResult{sres, r.cellDuration(time.Since(start), sres.Stats.Propagations)}, nil
+		})
+	if err := sweep.FirstError(errs); err != nil {
+		return ScatterResult{}, err
+	}
+	for i, it := range items {
+		d, f := cells[i*len(fig4Policies)], cells[i*len(fig4Policies)+1]
+		if d.Res.Status == solver.Unknown && f.Res.Status == solver.Unknown {
 			continue // the paper drops instances unsolved by both
 		}
 		res.Points = append(res.Points, ScatterPoint{
 			Name: it.Inst.Name,
-			X:    float64(d.Stats.Propagations), Y: float64(f.Stats.Propagations),
-			XTime: dT, YTime: fT,
-			XSolved: d.Status != solver.Unknown, YSolved: f.Status != solver.Unknown,
+			X:    float64(d.Res.Stats.Propagations), Y: float64(f.Res.Stats.Propagations),
+			XTime: d.Dur, YTime: f.Dur,
+			XSolved: d.Res.Status != solver.Unknown, YSolved: f.Res.Status != solver.Unknown,
 		})
 	}
 	res.finish()

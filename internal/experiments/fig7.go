@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -37,9 +38,21 @@ type Fig7Result struct {
 	Oracle metrics.Summary
 }
 
+// fig7Cell is one sweep cell of the Figure 7 matrix: either the plain
+// default-policy solve (kissat half) or the adaptive portfolio solve
+// (neuroselect half) of one test instance.
+type fig7Cell struct {
+	KR    solver.Result
+	KTime time.Duration
+	Rep   portfolio.Report
+}
+
 // Fig7 trains the selector (memoized), then solves every test instance
 // under plain default ("Kissat") and under the adaptive portfolio
-// ("NeuroSelect-Kissat").
+// ("NeuroSelect-Kissat"). The instance×system matrix is sharded across the
+// sweep engine with per-cell failure isolation; aggregation walks cells in
+// instance order so figures, tables, and failure rows are identical for
+// every worker count.
 func (r *Runner) Fig7() (Fig7Result, error) {
 	sel, err := r.Selector()
 	if err != nil {
@@ -53,31 +66,47 @@ func (r *Runner) Fig7() (Fig7Result, error) {
 	out := Fig7Result{Scatter: ScatterResult{Title: "Figure 7(a) — Kissat vs. NeuroSelect-Kissat"}}
 	var kProps, nProps, kMS, nMS, vbs []float64
 	var kSolved, nSolved []bool
-	for _, it := range c.Test.Items {
-		var kr solver.Result
-		var kTime time.Duration
-		var rep portfolio.Report
-		// A bad instance (solver panic, parse fault, malformed input) is
-		// recorded as a failure row; the figure/table run continues.
-		if err := isolate(func() error {
-			start := time.Now()
-			var err error
-			kr, err = solver.Solve(it.Inst.F, dataset.SolveOptions(deletion.DefaultPolicy{}, budget))
-			if err != nil {
-				return fmt.Errorf("kissat: %w", err)
-			}
-			kTime = time.Since(start)
-			rep, err = sel.Solve(it.Inst.F, budget)
-			if err != nil {
-				return fmt.Errorf("neuroselect: %w", err)
-			}
-			return nil
-		}); err != nil {
+	items := c.Test.Items
+	// A bad cell (solver panic, injected fault, per-cell deadline) is
+	// recorded as a failure row for its instance; the figure/table run
+	// continues.
+	cells, errs := sweepCells(r, "fig7", len(items)*2,
+		func(ctx context.Context, i int) (fig7Cell, error) {
+			it := items[i/2]
+			var cell fig7Cell
+			err := isolate(func() error {
+				if i%2 == 0 {
+					start := time.Now()
+					kr, err := solver.SolveContext(ctx, it.Inst.F, dataset.SolveOptions(deletion.DefaultPolicy{}, budget))
+					if err != nil {
+						return fmt.Errorf("kissat: %w", err)
+					}
+					cell.KR = kr
+					cell.KTime = r.cellDuration(time.Since(start), kr.Stats.Propagations)
+					return nil
+				}
+				rep, err := sel.SolveContext(ctx, it.Inst.F, budget)
+				if err != nil {
+					return fmt.Errorf("neuroselect: %w", err)
+				}
+				if r.Deterministic {
+					rep.SolveTime = r.cellDuration(rep.SolveTime, rep.Result.Stats.Propagations)
+					rep.Choice.Inference = 0
+				}
+				cell.Rep = rep
+				return nil
+			})
+			return cell, err
+		})
+	for idx, it := range items {
+		kerr, nerr := errs[idx*2], errs[idx*2+1]
+		if err := firstNonNil(kerr, nerr); err != nil {
 			r.logf("fig7: instance %s failed, continuing: %v", it.Inst.Name, err)
 			out.Failures = append(out.Failures, InstanceFailure{
 				Name: it.Inst.Name, Stage: "solve", Err: err.Error()})
 			continue
 		}
+		kr, kTime, rep := cells[idx*2].KR, cells[idx*2].KTime, cells[idx*2+1].Rep
 		if rep.Choice.Policy.Name() == "frequency" {
 			out.FreqChosen++
 		}

@@ -10,8 +10,9 @@ import (
 
 func TestFig7IsolatesFailingInstance(t *testing.T) {
 	t.Cleanup(faultpoint.Reset)
-	// The second test instance fails at the fault point; the run must
-	// record it as a failure row and produce the figure and table anyway.
+	// Exactly one sweep cell (whichever worker draws the second hit) fails
+	// at the fault point; the run must record its instance as a failure
+	// row and produce the figure and table anyway.
 	faultpoint.Arm(faultpoint.ExperimentInstance,
 		faultpoint.Fault{Err: errors.New("malformed instance"), Skip: 1, Times: 1})
 	r := quickRunner()

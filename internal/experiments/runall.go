@@ -36,6 +36,11 @@ func (r *Runner) RunAll(w io.Writer, only string) error {
 		if !match {
 			continue
 		}
+		// A canceled parent context (Ctrl-C, sweep deadline) stops between
+		// steps too, not just inside a sweep.
+		if err := r.baseContext().Err(); err != nil {
+			return fmt.Errorf("experiments: %s: %w", s.name, err)
+		}
 		ran = true
 		res, err := s.run()
 		if err != nil {

@@ -10,12 +10,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
+	"time"
 
 	"neuroselect/internal/core"
 	"neuroselect/internal/dataset"
 	"neuroselect/internal/faultpoint"
+	"neuroselect/internal/metrics"
 	"neuroselect/internal/portfolio"
 	"neuroselect/internal/satgraph"
 )
@@ -96,9 +100,30 @@ func DefaultScale() Scale {
 // Runner executes the experiments, memoizing the corpus and trained model.
 type Runner struct {
 	Scale Scale
-	// Log, when non-nil, receives progress lines.
+	// Log, when non-nil, receives progress lines. Writes are serialized so
+	// parallel sweep cells may log concurrently.
 	Log io.Writer
+	// Workers bounds the sweep engine's worker pool (0 → runtime.NumCPU()).
+	// Tables and JSON are byte-identical for every worker count: cells are
+	// collected by instance index, never by completion order.
+	Workers int
+	// CellTimeout, when positive, gives every sweep cell (one solve of one
+	// instance under one policy) its own wall-clock deadline through the
+	// solver.SolveContext path.
+	CellTimeout time.Duration
+	// BaseContext, when non-nil, is the parent context of every sweep;
+	// canceling it (e.g. on SIGINT) drains all workers and aborts the run.
+	BaseContext context.Context
+	// Deterministic replaces wall-clock measurements in reports with a
+	// propagation-derived pseudo-time (1 propagation ≡ 1µs) and zeroes
+	// inference timings, making rendered tables and JSON byte-identical
+	// across runs and worker counts. Used by the determinism regression
+	// tests and for reproducible archival artifacts.
+	Deterministic bool
+	// Sweep holds the per-worker counters of the most recent sweep.
+	Sweep metrics.SweepCounters
 
+	logMu     sync.Mutex
 	corpus    *dataset.Corpus
 	model     *core.Model
 	threshold float64
@@ -109,16 +134,31 @@ func NewRunner(s Scale) *Runner { return &Runner{Scale: s, threshold: -1} }
 
 func (r *Runner) logf(format string, args ...any) {
 	if r.Log != nil {
+		r.logMu.Lock()
+		defer r.logMu.Unlock()
 		fmt.Fprintf(r.Log, format+"\n", args...)
 	}
 }
 
-// Corpus builds (once) the labeled corpus.
+// baseContext returns the parent context of every sweep.
+func (r *Runner) baseContext() context.Context {
+	if r.BaseContext != nil {
+		return r.BaseContext
+	}
+	return context.Background()
+}
+
+// Corpus builds (once) the labeled corpus, sharding the labeling solves
+// across the runner's worker pool.
 func (r *Runner) Corpus() (*dataset.Corpus, error) {
 	if r.corpus == nil {
 		r.logf("building labeled corpus (%d strata × %d + %d test)...",
 			r.Scale.Corpus.TrainStrata, r.Scale.Corpus.PerStratum, r.Scale.Corpus.TestSize)
-		c, err := dataset.Build(r.Scale.Corpus)
+		cfg := r.Scale.Corpus
+		if cfg.Workers == 0 {
+			cfg.Workers = r.Workers
+		}
+		c, err := dataset.BuildContext(r.baseContext(), cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"neuroselect/internal/sweep"
+)
+
+// sweepCells shards n cells of the named experiment across the runner's
+// worker pool (see internal/sweep for the engine's guarantees) and logs a
+// per-worker counter summary. Results and errors come back in cell order,
+// so aggregation downstream is independent of scheduling.
+func sweepCells[T any](r *Runner, name string, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, []error) {
+	opts := sweep.Options{
+		Workers:     r.Workers,
+		CellTimeout: r.CellTimeout,
+		Counters:    &r.Sweep,
+	}
+	out, errs := sweep.Map(r.baseContext(), opts, n, fn)
+	r.logf("sweep %s: %s", name, r.Sweep.String())
+	return out, errs
+}
+
+// firstNonNil returns the first non-nil error of its arguments.
+func firstNonNil(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cellDuration converts a measured cell duration for reporting: wall-clock
+// normally, or a propagation-derived pseudo-duration (1 propagation ≡ 1µs)
+// in Deterministic mode, so that timing columns are a pure function of the
+// deterministic solver measure.
+func (r *Runner) cellDuration(wall time.Duration, propagations int64) time.Duration {
+	if r.Deterministic {
+		return time.Duration(propagations) * time.Microsecond
+	}
+	return wall
+}

@@ -1,0 +1,83 @@
+package solver
+
+import (
+	"bytes"
+	"testing"
+
+	"neuroselect/internal/deletion"
+	"neuroselect/internal/drat"
+	"neuroselect/internal/gen"
+)
+
+// TestDRATEndToEnd closes the proof loop inside go test: solve UNSAT
+// instances with proof logging on, then replay the emitted DRAT stream
+// through the checker. Both deletion policies run with aggressive reduce
+// thresholds so clause-database reduction — and therefore proof deletion
+// lines — are exercised under proof logging.
+func TestDRATEndToEnd(t *testing.T) {
+	instances := []gen.Instance{
+		gen.Pigeonhole(4),
+		gen.Pigeonhole(5),
+		gen.ParityChain(10, 8, 3, false, 7),
+		gen.Tseitin(8, 3, false, 11),
+		gen.Miter(4, 6, false, 5),
+		// t=5 (not the minimal unrolling) so refutation needs real conflict
+		// analysis rather than unit propagation alone, giving a non-empty
+		// proof.
+		gen.BMCCounter(4, 5, 15),
+	}
+	policies := []deletion.Policy{deletion.DefaultPolicy{}, deletion.FrequencyPolicy{}}
+	sawReduction := false
+	sawDeletion := false
+	for _, inst := range instances {
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			if inst.Expected != gen.ExpectUnsat {
+				t.Fatalf("suite instance %s is not UNSAT by construction", inst.Name)
+			}
+			for _, p := range policies {
+				t.Run(p.Name(), func(t *testing.T) {
+					var proof bytes.Buffer
+					w := drat.NewWriter(&proof)
+					res := mustSolve(t, inst.F, Options{
+						Policy:       p,
+						MaxConflicts: 1 << 20,
+						ReduceFirst:  20,
+						ReduceInc:    10,
+						Proof:        w,
+					})
+					if err := w.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					if res.Status != Unsat {
+						t.Fatalf("got %v, want UNSAT", res.Status)
+					}
+					if res.Stats.Reductions > 0 {
+						sawReduction = true
+					}
+					steps, err := drat.Parse(bytes.NewReader(proof.Bytes()))
+					if err != nil {
+						t.Fatalf("emitted proof does not parse: %v", err)
+					}
+					if res.Stats.Conflicts > 0 && len(steps) == 0 {
+						t.Fatal("UNSAT solve with conflicts emitted an empty proof")
+					}
+					for _, s := range steps {
+						if s.Delete {
+							sawDeletion = true
+						}
+					}
+					if err := drat.CheckProof(inst.F, proof.String()); err != nil {
+						t.Fatalf("proof rejected by checker: %v", err)
+					}
+				})
+			}
+		})
+	}
+	if !sawReduction {
+		t.Error("no run performed a clause-database reduction; raise the suite's difficulty or lower ReduceFirst")
+	}
+	if !sawDeletion {
+		t.Error("no proof contained a deletion line; reduction under proof logging was not exercised")
+	}
+}

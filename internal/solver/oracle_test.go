@@ -1,0 +1,139 @@
+package solver
+
+import (
+	"testing"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/deletion"
+	"neuroselect/internal/gen"
+)
+
+// enumerate exhaustively decides a small formula and returns a witness
+// assignment when satisfiable — the ground-truth oracle for the
+// differential suite.
+func enumerate(f *cnf.Formula) (bool, cnf.Assignment) {
+	n := f.NumVars
+	if n > 20 {
+		panic("enumerate: formula too large for the oracle suite")
+	}
+	a := cnf.NewAssignment(n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			a[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if a.Satisfies(f) {
+			witness := make(cnf.Assignment, len(a))
+			copy(witness, a)
+			return true, witness
+		}
+	}
+	return false, nil
+}
+
+// oracleInstances returns one small (≤20 variables) instance per generator
+// family — every family the paper's corpus draws from, sized so exhaustive
+// enumeration stays cheap.
+func oracleInstances() []gen.Instance {
+	var out []gen.Instance
+	for seed := int64(1); seed <= 3; seed++ {
+		out = append(out,
+			gen.RandomKSAT(12, 50, 3, seed),
+			gen.CommunityKSAT(12, 50, 3, 2, 0.85, seed),
+			gen.PowerLawKSAT(12, 52, 3, 0.9, seed),
+			gen.ParityChain(8, 5, 3, true, seed),
+			gen.ParityChain(8, 5, 3, false, seed),
+			gen.Tseitin(6, 3, true, seed),
+			gen.Tseitin(6, 3, false, seed),
+			gen.GraphColoring(5, 10, 3, seed),
+			gen.SubsetSum(2, 9, true, seed),
+			gen.SubsetSum(2, 9, false, seed),
+			gen.Miter(3, 4, false, seed),
+			gen.Miter(3, 4, true, seed),
+		)
+	}
+	out = append(out,
+		gen.Pigeonhole(3),
+		gen.NQueens(4),
+		gen.BMCCounter(3, 2, 7),
+	)
+	return out
+}
+
+// TestOracleDifferential cross-checks the CDCL solver against exhaustive
+// enumeration on every generator family, under both deletion policies:
+// verdicts must agree with the oracle and with each generator's
+// by-construction expectation, and every SAT model must actually satisfy
+// its formula.
+func TestOracleDifferential(t *testing.T) {
+	policies := []deletion.Policy{deletion.DefaultPolicy{}, deletion.FrequencyPolicy{}}
+	for _, inst := range oracleInstances() {
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			if inst.F.NumVars > 20 {
+				t.Fatalf("oracle instance too large: %d vars", inst.F.NumVars)
+			}
+			oracleSat, witness := enumerate(inst.F)
+			switch inst.Expected {
+			case gen.ExpectSat:
+				if !oracleSat {
+					t.Fatalf("generator promises SAT but enumeration finds no model")
+				}
+			case gen.ExpectUnsat:
+				if oracleSat {
+					t.Fatalf("generator promises UNSAT but enumeration found model %v", witness)
+				}
+			}
+			for _, p := range policies {
+				t.Run(p.Name(), func(t *testing.T) {
+					res := mustSolve(t, inst.F, Options{
+						Policy:       p,
+						MaxConflicts: 1 << 20,
+						// Low thresholds so the clause-database reduction
+						// path runs even on these small instances.
+						ReduceFirst: 10,
+						ReduceInc:   5,
+					})
+					if res.Status == Unknown {
+						t.Fatalf("oracle instance exhausted its conflict budget: %+v", res.Stats)
+					}
+					gotSat := res.Status == Sat
+					if gotSat != oracleSat {
+						t.Fatalf("solver says %v, oracle says sat=%v", res.Status, oracleSat)
+					}
+					if gotSat && !res.Model.Satisfies(inst.F) {
+						t.Fatalf("solver returned a model that does not satisfy the formula: %v", res.Model)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestOracleFamilyCoverage guards the suite itself: it must span all nine
+// generator families so a regression in any encoder is caught.
+func TestOracleFamilyCoverage(t *testing.T) {
+	want := []string{
+		"random", "community", "powerlaw", "parity", "tseitin",
+		"coloring", "subsetsum", "miter", "pigeonhole", "queens", "bmc",
+	}
+	have := map[string]bool{}
+	for _, inst := range oracleInstances() {
+		have[inst.Family] = true
+	}
+	for _, fam := range want {
+		if !have[fam] {
+			t.Errorf("oracle suite missing family %q", fam)
+		}
+	}
+	if len(have) < 9 {
+		t.Fatalf("oracle suite covers %d families, want ≥9: %v", len(have), have)
+	}
+	for _, inst := range oracleInstances() {
+		if inst.F.NumVars > 20 {
+			t.Errorf("%s: %d vars exceeds the 20-var oracle bound", inst.Name, inst.F.NumVars)
+		}
+		if inst.Name == "" {
+			t.Error("instance without a name")
+		}
+	}
+}

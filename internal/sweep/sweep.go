@@ -1,0 +1,171 @@
+// Package sweep is the parallel execution substrate of the experiment
+// harness: a bounded worker pool that shards an indexed cell matrix across
+// goroutines and aggregates results through a single collector goroutine,
+// so aggregate output is a pure function of the input order — byte-identical
+// regardless of worker count or completion order.
+//
+// Guarantees:
+//
+//   - Determinism: Map returns results and errors indexed by cell, filled
+//     by one collector goroutine; completion order never leaks.
+//   - Isolation: a panicking cell is contained to its own error slot.
+//   - Deadlines: each cell runs under its own context, derived from the
+//     parent with Options.CellTimeout when set.
+//   - Drain: parent-context cancellation stops feeding new cells, marks
+//     unstarted cells with the context error, and Map returns only after
+//     every in-flight cell has finished — no goroutine leaks.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"neuroselect/internal/metrics"
+)
+
+// Options configures one Map run.
+type Options struct {
+	// Workers bounds the pool (<=0 → runtime.NumCPU(); capped at the cell
+	// count).
+	Workers int
+	// CellTimeout, when positive, gives each cell its own deadline via a
+	// derived context.
+	CellTimeout time.Duration
+	// Counters, when non-nil, is Reset and filled with per-worker
+	// instrumentation for the run.
+	Counters *metrics.SweepCounters
+}
+
+// Map runs fn for cells 0..n-1 across a bounded worker pool and returns the
+// per-cell results and errors in index order. A cell that panics fails with
+// a contained error; cells never started because the parent context was
+// canceled fail with the context error. Map returns only after all workers
+// and the collector have drained.
+func Map[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, []error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return out, errs
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	c := opts.Counters
+	if c != nil {
+		c.Reset(workers, n)
+	}
+	start := time.Now()
+
+	type cellResult struct {
+		i   int
+		v   T
+		err error
+	}
+	jobs := make(chan int)
+	results := make(chan cellResult)
+
+	// Feeder: dispatches cell indices in order; on parent cancellation it
+	// stops feeding and reports the remaining cells as canceled so the
+	// collector still receives exactly n results. It joins the same
+	// waitgroup as the workers because it, too, sends on results.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				var zero T
+				for ; i < n; i++ {
+					results <- cellResult{i: i, v: zero, err: ctx.Err()}
+				}
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var wc *metrics.WorkerCounters
+			if c != nil {
+				wc = c.Worker(w)
+			}
+			for i := range jobs {
+				if c != nil {
+					c.CellPulled()
+				}
+				if wc != nil {
+					wc.Started.Add(1)
+				}
+				cellStart := time.Now()
+				v, err := runCell(ctx, opts.CellTimeout, i, fn)
+				if wc != nil {
+					wc.BusyNS.Add(int64(time.Since(cellStart)))
+					if err != nil {
+						wc.Failed.Add(1)
+					} else {
+						wc.Finished.Add(1)
+					}
+				}
+				results <- cellResult{i: i, v: v, err: err}
+			}
+		}(w)
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Single collector goroutine: the only writer of out/errs, indexing by
+	// cell so completion order cannot influence the aggregate.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range results {
+			out[r.i] = r.v
+			errs[r.i] = r.err
+		}
+	}()
+	<-done
+	if c != nil {
+		c.SetWall(time.Since(start))
+	}
+	return out, errs
+}
+
+// runCell executes one cell under its own context with panic containment.
+func runCell[T any](ctx context.Context, timeout time.Duration, i int, fn func(ctx context.Context, i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sweep: cell %d panicked: %v", i, r)
+		}
+	}()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return fn(ctx, i)
+}
+
+// FirstError returns the lowest-index non-nil error, so error propagation
+// is as deterministic as the results themselves.
+func FirstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,9 +1,16 @@
 #!/bin/sh
-# Tier-1 gate: build, vet, full test suite, then the race detector on the
-# concurrency-bearing packages (portfolio racing, experiments runner,
-# solver cancellation). Run from the repo root via `make check` or
+# Tier-1 gate: build, vet, full test suite, the race detector on the
+# concurrency-bearing packages (portfolio racing, the sweep engine, the
+# experiments runner, solver cancellation), and a coverage gate on the
+# experiments package. Run from the repo root via `make check` or
 # `./scripts/check.sh`.
 set -eu
+
+# Statement-coverage floor for neuroselect/internal/experiments. The
+# pre-sweep-engine suite sat below this; the sweep engine's determinism,
+# fault-injection, and sharding paths pushed it past 90%, and this gate
+# keeps future changes from silently shedding that coverage.
+EXPERIMENTS_COVER_FLOOR=85.0
 
 echo "== go build ./..."
 go build ./...
@@ -15,6 +22,30 @@ echo "== go test ./..."
 go test ./...
 
 echo "== go test -race (concurrency-bearing packages)"
-go test -race ./internal/portfolio/... ./internal/experiments/... ./internal/solver/... ./internal/faultpoint/...
+go test -race ./internal/experiments ./internal/portfolio \
+	./internal/sweep ./internal/metrics ./internal/dataset \
+	./internal/solver ./internal/faultpoint
+
+echo "== coverage (experiments + sweep engine)"
+COVER_PROFILE="$(mktemp)"
+trap 'rm -f "$COVER_PROFILE"' EXIT
+go test -count=1 -covermode=atomic -coverprofile="$COVER_PROFILE" \
+	./internal/experiments ./internal/sweep ./internal/metrics
+
+awk -F: -v floor="$EXPERIMENTS_COVER_FLOOR" '
+	{
+		# profile lines: path:start,end numStmts hitCount
+		if ($1 ~ /^neuroselect\/internal\/experiments\//) {
+			split($2, f, " ")
+			total += f[2]
+			if (f[3] > 0) covered += f[2]
+		}
+	}
+	END {
+		if (total == 0) { print "coverage gate: no experiments statements in profile"; exit 1 }
+		pct = 100 * covered / total
+		printf "experiments statement coverage: %.1f%% (floor %.1f%%)\n", pct, floor
+		if (pct < floor) { print "coverage gate: FAIL — below floor"; exit 1 }
+	}' "$COVER_PROFILE"
 
 echo "check: all gates passed"
