@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race cover
+.PHONY: check build vet test race cover bench
 
 ## check: the tier-1 gate — build, vet, all tests, race detector on the
 ## concurrency-bearing packages, and the experiments coverage floor. CI and
@@ -25,3 +25,10 @@ race:
 ## cover: per-package coverage summary for the sweep/experiments stack.
 cover:
 	$(GO) test -count=1 -covermode=atomic -cover ./internal/experiments ./internal/sweep ./internal/metrics ./internal/dataset
+
+## bench: run the solver + DRAT benchmark suites and write the
+## machine-readable BENCH_solver.json trajectory file. Pass a custom
+## -benchtime via BENCHTIME (e.g. `make bench BENCHTIME=3s`).
+BENCHTIME ?= 1s
+bench:
+	./scripts/bench.sh $(BENCHTIME)

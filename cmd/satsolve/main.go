@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"neuroselect"
 	"neuroselect/internal/cnf"
@@ -41,6 +43,12 @@ flags:
 }
 
 func main() {
+	// The solve runs inside run() so profile writers and file closes (all
+	// deferred) execute before the SAT-competition exit code is raised.
+	os.Exit(run())
+}
+
+func run() int {
 	policy := flag.String("policy", "default", "clause-deletion policy: default, frequency, activity, size")
 	conflicts := flag.Int64("conflicts", 0, "conflict budget (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "wall-clock timeout, e.g. 30s or 5m (0 = unlimited)")
@@ -48,21 +56,49 @@ func main() {
 	model := flag.Bool("model", true, "print the satisfying assignment (v lines)")
 	simplify := flag.Bool("simplify", false, "preprocess with unit propagation, pure literals, subsumption")
 	proofPath := flag.String("proof", "", "write a DRAT proof to this file (incompatible with -simplify)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "satsolve:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush unreachable allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "satsolve:", err)
+			}
+		}()
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer f.Close()
 		in = f
 	}
 	f, err := cnf.ParseDIMACS(in)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	cfg := neuroselect.SolveConfig{
 		Policy:       *policy,
@@ -74,18 +110,18 @@ func main() {
 	if *proofPath != "" {
 		proofFile, err = os.Create(*proofPath)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer proofFile.Close()
 		cfg.Proof = neuroselect.NewProofWriter(proofFile)
 	}
 	res, err := neuroselect.SolveContext(context.Background(), f, cfg)
 	if err != nil && !errors.Is(err, neuroselect.ErrSolvePanic) {
-		fatal(err)
+		return fail(err)
 	}
 	if cfg.Proof != nil {
 		if err := cfg.Proof.Flush(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	if *stats {
@@ -107,15 +143,16 @@ func main() {
 			}
 			fmt.Println(" 0")
 		}
-		os.Exit(10)
+		return 10
 	case solver.Unsat:
 		fmt.Println("s UNSATISFIABLE")
-		os.Exit(20)
+		return 20
 	default:
 		if c := stopComment(res.Stop); c != "" {
 			fmt.Println("c " + c)
 		}
 		fmt.Println("s UNKNOWN")
+		return 0
 	}
 }
 
@@ -140,7 +177,7 @@ func stopComment(stop error) string {
 	}
 }
 
-func fatal(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "satsolve:", err)
-	os.Exit(1)
+	return 1
 }

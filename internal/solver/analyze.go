@@ -5,8 +5,12 @@ package solver
 // and the clause's glue (LBD). It bumps variable and clause activities and
 // refreshes the glue of learned reason clauses it traverses (Glucose-style
 // glue improvement).
-func (s *Solver) analyze(conflict *clause) (learnt []lit, backLvl int, glue int) {
-	learnt = append(learnt, litUndef) // placeholder for the asserting literal
+//
+// The returned slice aliases a scratch buffer owned by the solver; it is
+// valid until the next analyze call. install copies it into the arena, so
+// steady-state conflict analysis performs no allocations.
+func (s *Solver) analyze(conflict cref) (learnt []lit, backLvl int, glue int) {
+	learnt = append(s.learntBuf[:0], litUndef) // placeholder for the asserting literal
 	counter := 0
 	idx := len(s.trail) - 1
 	var p lit = litUndef
@@ -14,18 +18,19 @@ func (s *Solver) analyze(conflict *clause) (learnt []lit, backLvl int, glue int)
 	curLvl := int32(s.decisionLevel())
 
 	for {
-		if c.learned {
+		cls := s.clauseLits(c)
+		if s.clauseLearned(c) {
 			s.bumpClause(c)
-			if g := s.computeGlue(c.lits); g < int(c.glue) {
-				c.glue = int32(g)
+			if g := s.computeGlue(cls); g < s.clauseGlue(c) {
+				s.setClauseGlue(c, g)
 			}
 		}
 		start := 0
 		if p != litUndef {
-			start = 1 // skip the asserting position; c.lits[0] == p
+			start = 1 // skip the asserting position; cls[0] == p
 		}
-		for j := start; j < len(c.lits); j++ {
-			q := c.lits[j]
+		for j := start; j < len(cls); j++ {
+			q := cls[j]
 			v := q.v()
 			if s.seen[v] || s.level[v] == 0 {
 				continue
@@ -52,14 +57,18 @@ func (s *Solver) analyze(conflict *clause) (learnt []lit, backLvl int, glue int)
 		}
 		c = s.reason[v]
 		// Reasons must exist for propagated literals above the first UIP.
-		if c == nil {
+		if c == crefUndef {
 			panic("solver: missing reason during conflict analysis")
 		}
-		if c.lits[0] != p {
-			// Normalize so the propagated literal is first.
-			for k := 1; k < len(c.lits); k++ {
-				if c.lits[k] == p {
-					c.lits[0], c.lits[k] = c.lits[k], c.lits[0]
+		cls = s.clauseLits(c)
+		if cls[0] != p {
+			// Normalize so the propagated literal is first. Binary reasons
+			// propagated through the inlined watch path arrive unnormalized;
+			// this write puts the arena in the same state the pre-arena
+			// solver reached eagerly at propagation time.
+			for k := 1; k < len(cls); k++ {
+				if cls[k] == p {
+					cls[0], cls[k] = cls[k], cls[0]
 					break
 				}
 			}
@@ -91,6 +100,7 @@ func (s *Solver) analyze(conflict *clause) (learnt []lit, backLvl int, glue int)
 		backLvl = int(s.level[learnt[1].v()])
 	}
 	glue = s.computeGlue(learnt)
+	s.learntBuf = learnt // keep the (possibly grown) buffer for reuse
 	return learnt, backLvl, glue
 }
 
@@ -118,9 +128,9 @@ func (s *Solver) computeGlue(lits []lit) int {
 // and remain set for the surviving literals on exit.
 func (s *Solver) minimize(learnt []lit) []lit {
 	out := learnt[:1]
-	var extra []int // vars speculatively marked by litRedundant, to clear
+	extra := s.minimizeExt[:0] // vars speculatively marked by litRedundant, to clear
 	for _, l := range learnt[1:] {
-		if s.reason[l.v()] == nil {
+		if s.reason[l.v()] == crefUndef {
 			out = append(out, l)
 			continue
 		}
@@ -136,50 +146,60 @@ func (s *Solver) minimize(learnt []lit) []lit {
 	for _, v := range extra {
 		s.seen[v] = false
 	}
+	s.minimizeExt = extra
 	return out
+}
+
+// redFrame is a litRedundant DFS frame: a reason clause and the index of
+// the next literal to examine in it.
+type redFrame struct {
+	c cref
+	i int
 }
 
 // litRedundant reports whether literal l is implied by the seen literals,
 // walking the implication graph through reasons with an explicit stack. On
 // success it returns the variables it speculatively marked (the caller
 // clears them after the whole minimization pass, so they memoize across
-// calls); on failure it undoes its marks itself and returns nil.
+// calls); on failure it undoes its marks itself and returns nil. The stack
+// and mark buffers are solver-owned scratch, reused across calls.
 func (s *Solver) litRedundant(l lit) (bool, []int) {
-	type frame struct {
-		c *clause
-		i int
-	}
-	var stack []frame
-	var marked []int // speculatively marked variables for rollback
+	stack := s.redStack[:0]
+	marked := s.redMarked[:0] // speculatively marked variables for rollback
 	c := s.reason[l.v()]
+	cls := s.clauseLits(c)
 	i := 0
 	for {
-		if i == len(c.lits) {
+		if i == len(cls) {
 			if len(stack) == 0 {
+				s.redStack, s.redMarked = stack, marked
 				return true, marked
 			}
 			top := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			c, i = top.c, top.i
+			cls = s.clauseLits(c)
 			continue
 		}
-		q := c.lits[i]
+		q := cls[i]
 		i++
 		v := q.v()
 		if s.seen[v] || s.level[v] == 0 {
 			continue
 		}
 		r := s.reason[v]
-		if r == nil {
+		if r == crefUndef {
 			// Reached a decision not in the clause: not redundant; undo.
 			for _, mv := range marked {
 				s.seen[mv] = false
 			}
+			s.redStack, s.redMarked = stack, marked
 			return false, nil
 		}
 		s.seen[v] = true
 		marked = append(marked, v)
-		stack = append(stack, frame{c, i})
+		stack = append(stack, redFrame{c, i})
 		c, i = r, 0
+		cls = s.clauseLits(c)
 	}
 }

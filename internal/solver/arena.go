@@ -1,0 +1,203 @@
+package solver
+
+// Clause arena.
+//
+// All clauses live in one flat slice of 32-bit words (the element type is
+// lit, a uint32 newtype, so literal slices come straight out of the arena
+// without conversion). A clause is identified by a cref — the arena index
+// of its header word — and laid out as:
+//
+//	problem clause:  [header, lit0, lit1, ..., litN-1]
+//	learned clause:  [header, actSlot, lit0, lit1, ..., litN-1]
+//
+// The header word packs, from the least significant bit:
+//
+//	bit  0      learned flag (also selects the 1- vs 2-word header)
+//	bit  1      deleted flag (set during reduce, reclaimed by gcArena)
+//	bit  2      protect flag (reason-protected during the current reduction)
+//	bits 3-12   glue (LBD), saturating at hdrGlueMax
+//	bits 13-31  clause size in literals
+//
+// Learned clauses carry one extra header word, actSlot: the index of the
+// clause's activity in the parallel clauseAct []float64 slice. Activities
+// stay float64 (bit-compatible with the pre-arena representation) without
+// widening the arena itself.
+//
+// Problem clauses are allocated before the search starts and are never
+// deleted, so the arena prefix [0, problemEnd) is immutable: those crefs
+// never move. Learned clauses append after problemEnd and are reclaimed by
+// a mark-and-compact GC (gcArena) that runs at reduce time, replacing the
+// old lazy deleted-tombstone scheme.
+
+// cref is a clause reference: the arena index of the clause's header word.
+type cref uint32
+
+// crefUndef is the nil clause reference (no reason / no conflict).
+const crefUndef cref = ^cref(0)
+
+const (
+	hdrLearned uint32 = 1 << 0
+	hdrDeleted uint32 = 1 << 1
+	hdrProtect uint32 = 1 << 2
+
+	hdrGlueShift = 3
+	hdrGlueBits  = 10
+	// hdrGlueMax is the largest storable glue; larger LBDs saturate here.
+	// Glue only ranks clauses for deletion, so saturation merely makes
+	// clauses beyond 1023 distinct decision levels tie at the bottom.
+	hdrGlueMax = 1<<hdrGlueBits - 1
+
+	hdrSizeShift = hdrGlueShift + hdrGlueBits
+	// maxClauseSize is the largest representable clause (19 size bits).
+	maxClauseSize = 1<<(32-hdrSizeShift) - 1
+
+	// maxArenaWords keeps crefs below the watchBinary tag bit.
+	maxArenaWords = 1 << 31
+)
+
+// watchBinary tags a watcher's ref field when the watched clause is binary:
+// the blocker then IS the other literal, and BCP resolves the clause without
+// touching arena memory. The clause's real cref is ref &^ watchBinary.
+const watchBinary uint32 = 1 << 31
+
+func (s *Solver) header(c cref) uint32      { return uint32(s.arena[c]) }
+func (s *Solver) clauseSize(c cref) int     { return int(uint32(s.arena[c]) >> hdrSizeShift) }
+func (s *Solver) clauseLearned(c cref) bool { return uint32(s.arena[c])&hdrLearned != 0 }
+func (s *Solver) clauseDeleted(c cref) bool { return uint32(s.arena[c])&hdrDeleted != 0 }
+func (s *Solver) clauseGlue(c cref) int {
+	return int(uint32(s.arena[c]) >> hdrGlueShift & hdrGlueMax)
+}
+
+func (s *Solver) setClauseGlue(c cref, g int) {
+	if g > hdrGlueMax {
+		g = hdrGlueMax
+	}
+	h := uint32(s.arena[c])
+	h = h&^(uint32(hdrGlueMax)<<hdrGlueShift) | uint32(g)<<hdrGlueShift
+	s.arena[c] = lit(h)
+}
+
+func (s *Solver) setFlag(c cref, f uint32)   { s.arena[c] = lit(uint32(s.arena[c]) | f) }
+func (s *Solver) clearFlag(c cref, f uint32) { s.arena[c] = lit(uint32(s.arena[c]) &^ f) }
+
+// litBase returns the arena index of the clause's first literal. The
+// learned bit doubles as the header-length selector, so this is branch-free.
+func (s *Solver) litBase(c cref) cref {
+	return c + 1 + cref(uint32(s.arena[c])&hdrLearned)
+}
+
+// clauseLits returns the clause's literals as a live sub-slice of the arena;
+// writes through it (watch reordering, reason normalization) are visible to
+// every other reader of the clause.
+func (s *Solver) clauseLits(c cref) []lit {
+	b := s.litBase(c)
+	return s.arena[b : b+cref(s.clauseSize(c))]
+}
+
+func (s *Solver) actSlot(c cref) uint32 { return uint32(s.arena[c+1]) }
+
+func (s *Solver) clauseActivity(c cref) float64 { return s.clauseAct[s.actSlot(c)] }
+
+// allocClause appends a clause to the arena and returns its cref. Learned
+// clauses get an activity slot initialized to act.
+func (s *Solver) allocClause(lits []lit, learned bool, glue int, act float64) cref {
+	if len(lits) > maxClauseSize {
+		panic("solver: clause exceeds the arena size limit")
+	}
+	if len(s.arena)+len(lits)+2 > maxArenaWords {
+		panic("solver: clause arena full")
+	}
+	c := cref(len(s.arena))
+	if glue > hdrGlueMax {
+		glue = hdrGlueMax
+	}
+	h := uint32(len(lits))<<hdrSizeShift | uint32(glue)<<hdrGlueShift
+	if learned {
+		h |= hdrLearned
+	}
+	s.arena = append(s.arena, lit(h))
+	if learned {
+		s.arena = append(s.arena, lit(uint32(len(s.clauseAct))))
+		s.clauseAct = append(s.clauseAct, act)
+	}
+	s.arena = append(s.arena, lits...)
+	return c
+}
+
+// gcArena compacts the learned region of the arena, reclaiming clauses
+// marked hdrDeleted, and rewrites every cref-bearing structure: watch lists
+// (dropping watchers of deleted clauses), reason references, the learned
+// index, and the activity slots. Problem clauses (below problemEnd) never
+// move. Reason clauses are protect-marked by reduce before marking, so a
+// deleted clause can never be a live reason.
+//
+// The pass is allocation-free: new crefs are planted as forwarding pointers
+// in the (already salvaged) actSlot header word, references are rewritten
+// through them, and only then is clause memory slid down in place.
+func (s *Solver) gcArena() {
+	// Plant forwarding pointers and compact the activity slice. s.learned
+	// is in arena order and actSlots ascend with it, so activities compact
+	// in place (write index never passes the read index).
+	live := s.learned[:0]
+	w := s.problemEnd
+	for _, c := range s.learned {
+		if s.clauseDeleted(c) {
+			continue
+		}
+		s.clauseAct[len(live)] = s.clauseAct[s.actSlot(c)]
+		s.arena[c+1] = lit(uint32(w)) // forwarding pointer
+		live = append(live, w)
+		w += cref(s.clauseSize(c)) + 2
+	}
+
+	// Rewrite watch lists through the forwarding pointers, dropping
+	// watchers of deleted clauses. Relative order of survivors is
+	// preserved, matching the old lazy-removal semantics.
+	for li := range s.watches {
+		ws := s.watches[li]
+		kept := ws[:0]
+		for _, wt := range ws {
+			c := cref(wt.ref &^ watchBinary)
+			if c >= s.problemEnd {
+				if s.clauseDeleted(c) {
+					continue
+				}
+				wt.ref = uint32(s.arena[c+1]) | wt.ref&watchBinary
+			}
+			kept = append(kept, wt)
+		}
+		s.watches[li] = kept
+	}
+
+	// Rewrite reason references (valid only for assigned variables;
+	// cancelUntil resets the rest to crefUndef).
+	for v := range s.reason {
+		if c := s.reason[v]; c != crefUndef && c >= s.problemEnd {
+			s.reason[v] = cref(uint32(s.arena[c+1]))
+		}
+	}
+
+	// Slide live clauses down. dst never exceeds the read cursor, and the
+	// builtin copy has memmove semantics, so overlapping blocks are safe.
+	r := s.problemEnd
+	end := cref(len(s.arena))
+	slot := uint32(0)
+	for r < end {
+		h := uint32(s.arena[r])
+		size := cref(h >> hdrSizeShift)
+		blk := size + 2 // learned clauses only: header + actSlot + lits
+		if h&hdrDeleted != 0 {
+			r += blk
+			continue
+		}
+		dst := cref(uint32(s.arena[r+1]))
+		s.arena[dst] = lit(h)
+		s.arena[dst+1] = lit(slot)
+		copy(s.arena[dst+2:dst+2+size], s.arena[r+2:r+2+size])
+		slot++
+		r += blk
+	}
+	s.arena = s.arena[:w]
+	s.clauseAct = s.clauseAct[:slot]
+	s.learned = live
+}

@@ -14,7 +14,7 @@ func (s *Solver) SolveUnderAssumptions(assumptions []cnf.Lit) (Status, []cnf.Lit
 		return Unsat, nil
 	}
 	s.cancelUntil(0)
-	if conflict := s.propagate(); conflict != nil {
+	if conflict := s.propagate(); conflict != crefUndef {
 		s.ok = false
 		return Unsat, nil
 	}
@@ -55,7 +55,7 @@ func (s *Solver) searchAssuming(assumptions []lit, conflictLimit int64) (Status,
 			// A stride poll inside BCP raised a stop cause.
 			return Unknown, nil
 		}
-		if conflict != nil {
+		if conflict != crefUndef {
 			s.stats.Conflicts++
 			conflictsHere++
 			if s.decisionLevel() == 0 {
@@ -112,7 +112,7 @@ func (s *Solver) searchAssuming(assumptions []lit, conflictLimit int64) (Status,
 			default:
 				s.stats.Decisions++
 				s.trailLim = append(s.trailLim, len(s.trail))
-				s.enqueue(a, nil)
+				s.enqueue(a, crefUndef)
 			}
 			continue
 		}
@@ -123,13 +123,31 @@ func (s *Solver) searchAssuming(assumptions []lit, conflictLimit int64) (Status,
 		}
 		s.stats.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.enqueue(mkLit(v, !s.phase[v]), nil)
+		s.enqueue(mkLit(v, !s.phase[v]), crefUndef)
 	}
+}
+
+// reasonRest returns the non-implied literals of reason clause c, which
+// propagated literal p. It first normalizes the clause so p sits at
+// position 0 — binary reasons propagated through the inlined watch path
+// arrive unnormalized, whereas the generic path normalizes at propagation
+// time.
+func (s *Solver) reasonRest(c cref, p lit) []lit {
+	cls := s.clauseLits(c)
+	if cls[0] != p {
+		for k := 1; k < len(cls); k++ {
+			if cls[k] == p {
+				cls[0], cls[k] = cls[k], cls[0]
+				break
+			}
+		}
+	}
+	return cls[1:]
 }
 
 // analyzeFinal walks the implication graph from a conflict that occurred
 // within the assumption prefix and collects the assumptions it depends on.
-func (s *Solver) analyzeFinal(conflict *clause, assumptions []lit) []cnf.Lit {
+func (s *Solver) analyzeFinal(conflict cref, assumptions []lit) []cnf.Lit {
 	isAssumption := make(map[lit]bool, len(assumptions))
 	for _, a := range assumptions {
 		if a != litUndef {
@@ -139,7 +157,7 @@ func (s *Solver) analyzeFinal(conflict *clause, assumptions []lit) []cnf.Lit {
 	var core []cnf.Lit
 	seen := make([]bool, s.numVars)
 	var stack []lit
-	for _, l := range conflict.lits {
+	for _, l := range s.clauseLits(conflict) {
 		if s.level[l.v()] > 0 {
 			stack = append(stack, l)
 		}
@@ -157,16 +175,14 @@ func (s *Solver) analyzeFinal(conflict *clause, assumptions []lit) []cnf.Lit {
 			continue
 		}
 		r := s.reason[v]
-		if r == nil {
+		if r == crefUndef {
 			// A decision that is not an assumption cannot appear below the
 			// assumption prefix; if it does, include it conservatively by
 			// skipping (the conflict was within the prefix, so reasons
 			// bottom out at assumptions or level 0).
 			continue
 		}
-		for _, q := range r.lits[1:] {
-			stack = append(stack, q)
-		}
+		stack = append(stack, s.reasonRest(r, l.not())...)
 	}
 	return core
 }
@@ -192,8 +208,8 @@ func (s *Solver) coreOfFalsified(a lit, assumptions []lit) []cnf.Lit {
 		core = append(core, toCNF(a.not()))
 		return core
 	}
-	if r := s.reason[a.v()]; r != nil {
-		stack = append(stack, r.lits[1:]...)
+	if r := s.reason[a.v()]; r != crefUndef {
+		stack = append(stack, s.reasonRest(r, a.not())...)
 	}
 	for len(stack) > 0 {
 		q := stack[len(stack)-1]
@@ -207,8 +223,8 @@ func (s *Solver) coreOfFalsified(a lit, assumptions []lit) []cnf.Lit {
 			core = append(core, toCNF(q.not()))
 			continue
 		}
-		if r := s.reason[v]; r != nil {
-			stack = append(stack, r.lits[1:]...)
+		if r := s.reason[v]; r != crefUndef {
+			stack = append(stack, s.reasonRest(r, q.not())...)
 		}
 	}
 	return core

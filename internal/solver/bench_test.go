@@ -8,18 +8,42 @@ import (
 	"neuroselect/internal/gen"
 )
 
+// reportSolverMetrics converts accumulated search counters into throughput
+// metrics so scripts/bench.sh can track props/sec and conflicts/sec per
+// generator family alongside the standard ns/op and allocs/op columns.
+func reportSolverMetrics(b *testing.B, props, conflicts int64) {
+	secs := b.Elapsed().Seconds()
+	if secs <= 0 {
+		return
+	}
+	// Zero counters are omitted rather than reported: Stats.Propagations
+	// only counts reason-bearing enqueues, so a workload that collapses at
+	// level 0 (e.g. the addClause chain below) has none by definition.
+	if props > 0 {
+		b.ReportMetric(float64(props)/secs, "props/sec")
+	}
+	if conflicts > 0 {
+		b.ReportMetric(float64(conflicts)/secs, "conflicts/sec")
+	}
+}
+
 // BenchmarkSolveRandom3SAT measures end-to-end solving of a
 // phase-transition random instance under each deletion policy.
 func BenchmarkSolveRandom3SAT(b *testing.B) {
 	inst := gen.RandomKSAT(120, 511, 3, 7)
 	for _, pol := range []deletion.Policy{deletion.DefaultPolicy{}, deletion.FrequencyPolicy{}} {
 		b.Run(pol.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			var props, conflicts int64
 			for i := 0; i < b.N; i++ {
 				res, err := Solve(inst.F, Options{Policy: pol, ReduceFirst: 100, ReduceInc: 50})
 				if err != nil || res.Status == Unknown {
 					b.Fatal("solve failed")
 				}
+				props += res.Stats.Propagations
+				conflicts += res.Stats.Conflicts
 			}
+			reportSolverMetrics(b, props, conflicts)
 		})
 	}
 }
@@ -28,27 +52,56 @@ func BenchmarkSolveRandom3SAT(b *testing.B) {
 func BenchmarkSolvePigeonhole(b *testing.B) {
 	inst := gen.Pigeonhole(6)
 	b.ReportAllocs()
+	var props, conflicts int64
 	for i := 0; i < b.N; i++ {
 		res, err := Solve(inst.F, Options{})
 		if err != nil || res.Status != Unsat {
 			b.Fatal("php-6 must be UNSAT")
 		}
+		props += res.Stats.Propagations
+		conflicts += res.Stats.Conflicts
 	}
+	reportSolverMetrics(b, props, conflicts)
 }
 
 // BenchmarkSolveMiter measures a structured equivalence-checking instance.
 func BenchmarkSolveMiter(b *testing.B) {
 	inst := gen.Miter(10, 150, false, 3)
+	b.ReportAllocs()
+	var props, conflicts int64
 	for i := 0; i < b.N; i++ {
 		res, err := Solve(inst.F, Options{})
 		if err != nil || res.Status != Unsat {
 			b.Fatal("equivalent miter must be UNSAT")
 		}
+		props += res.Stats.Propagations
+		conflicts += res.Stats.Conflicts
 	}
+	reportSolverMetrics(b, props, conflicts)
 }
 
-// BenchmarkPropagationThroughput measures raw BCP on an implication chain:
-// one unit triggers n−1 propagations with no search.
+// BenchmarkSolveTseitin measures an expander-graph parity instance, whose
+// long XOR chains learn many binary clauses and so lean hardest on the
+// inlined binary-watch path.
+func BenchmarkSolveTseitin(b *testing.B) {
+	inst := gen.Tseitin(24, 3, false, 4)
+	b.ReportAllocs()
+	var props, conflicts int64
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(inst.F, Options{})
+		if err != nil || res.Status != Unsat {
+			b.Fatal("odd-charge tseitin must be UNSAT")
+		}
+		props += res.Stats.Propagations
+		conflicts += res.Stats.Conflicts
+	}
+	reportSolverMetrics(b, props, conflicts)
+}
+
+// BenchmarkPropagationThroughput measures the root-level implication
+// chain: the unit clause collapses the whole chain during addClause's
+// level-0 simplification, so this benchmark times clause ingestion and
+// construction-time unit propagation (no watch lists, no search).
 func BenchmarkPropagationThroughput(b *testing.B) {
 	const n = 5000
 	f := cnf.New(n)
@@ -58,12 +111,49 @@ func BenchmarkPropagationThroughput(b *testing.B) {
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
+	var props, conflicts int64
 	for i := 0; i < b.N; i++ {
 		res, err := Solve(f, Options{})
 		if err != nil || res.Status != Sat {
 			b.Fatal("chain must be SAT")
 		}
+		props += res.Stats.Propagations
+		conflicts += res.Stats.Conflicts
 	}
+	reportSolverMetrics(b, props, conflicts)
+}
+
+// BenchmarkBinaryBCP measures watch-driven propagation through the inlined
+// binary-clause path. The two-way chain (¬x_i∨x_{i+1}) ∧ (x_i∨x_{i+1}) has
+// no unit clause, so nothing collapses at construction; the first decision
+// triggers ~n propagations, every one resolved inside the watcher without
+// touching clause memory.
+func BenchmarkBinaryBCP(b *testing.B) {
+	const n = 5000
+	f := cnf.New(n)
+	for i := 1; i < n; i++ {
+		f.MustAddClause(cnf.Lit(-i), cnf.Lit(i+1))
+		f.MustAddClause(cnf.Lit(i), cnf.Lit(i+1))
+	}
+	s, err := New(f, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The incremental interface backtracks to level 0 between calls, so
+		// each iteration redoes the full decision-triggered chain of
+		// propagations on the already-constructed solver: pure BCP.
+		if st, _ := s.SolveUnderAssumptions(nil); st != Sat {
+			b.Fatal("two-way chain must be SAT")
+		}
+	}
+	props := s.Stats().Propagations
+	if props < int64(b.N)*(n-2) {
+		b.Fatalf("chain did not propagate through BCP: %+v", s.Stats())
+	}
+	reportSolverMetrics(b, props, s.Stats().Conflicts)
 }
 
 // BenchmarkReduceCost isolates the clause-database reduction by running a
@@ -73,6 +163,8 @@ func BenchmarkReduceCost(b *testing.B) {
 	inst := gen.RandomKSAT(100, 426, 3, 9)
 	for _, pol := range []deletion.Policy{deletion.DefaultPolicy{}, deletion.FrequencyPolicy{}} {
 		b.Run(pol.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			var props, conflicts int64
 			for i := 0; i < b.N; i++ {
 				s, err := New(inst.F, Options{Policy: pol, ReduceFirst: 20, ReduceInc: 10})
 				if err != nil {
@@ -82,7 +174,10 @@ func BenchmarkReduceCost(b *testing.B) {
 				if s.Stats().Reductions == 0 {
 					b.Fatal("schedule should force reductions")
 				}
+				props += s.Stats().Propagations
+				conflicts += s.Stats().Conflicts
 			}
+			reportSolverMetrics(b, props, conflicts)
 		})
 	}
 }

@@ -12,31 +12,47 @@ import (
 
 // checkWatchInvariant verifies that every live clause of length ≥ 2 is
 // present in exactly the two watch lists of its first two literals'
-// negations (lazily removed deleted watchers are ignored).
+// negations, that binary clauses are watched through the inlined encoding
+// (watchBinary tag, blocker = other literal), and that no watcher or
+// reason references a deleted clause (the arena GC removes them eagerly).
 func checkWatchInvariant(t *testing.T, s *Solver) {
 	t.Helper()
-	count := map[*clause]int{}
-	where := map[*clause][]lit{}
+	count := map[cref]int{}
+	where := map[cref][]lit{}
 	for li, ws := range s.watches {
 		for _, w := range ws {
-			if w.c.deleted {
-				continue
+			c := cref(w.ref &^ watchBinary)
+			if s.clauseDeleted(c) {
+				t.Fatalf("watch list %d holds deleted clause %v", li, s.clauseLits(c))
 			}
-			count[w.c]++
-			where[w.c] = append(where[w.c], lit(li))
+			if bin := w.ref&watchBinary != 0; bin != (s.clauseSize(c) == 2 && !s.opts.disableBinaryWatch) {
+				t.Fatalf("clause %v: binary-watch tag %v does not match size %d",
+					s.clauseLits(c), bin, s.clauseSize(c))
+			}
+			if w.ref&watchBinary != 0 {
+				cls := s.clauseLits(c)
+				other := cls[0]
+				if other.not() == lit(li) {
+					other = cls[1]
+				}
+				if w.blocker != other {
+					t.Fatalf("binary clause %v watched under %v with blocker %v, want %v",
+						cls, lit(li), w.blocker, other)
+				}
+			}
+			count[c]++
+			where[c] = append(where[c], lit(li))
 		}
 	}
-	check := func(c *clause) {
-		if c.deleted {
-			return
-		}
+	check := func(c cref) {
+		cls := s.clauseLits(c)
 		if count[c] != 2 {
-			t.Fatalf("clause %v appears in %d watch lists, want 2", c.lits, count[c])
+			t.Fatalf("clause %v appears in %d watch lists, want 2", cls, count[c])
 		}
-		want := map[lit]bool{c.lits[0].not(): true, c.lits[1].not(): true}
+		want := map[lit]bool{cls[0].not(): true, cls[1].not(): true}
 		for _, li := range where[c] {
 			if !want[li] {
-				t.Fatalf("clause %v watched under wrong literal %v", c.lits, li)
+				t.Fatalf("clause %v watched under wrong literal %v", cls, li)
 			}
 		}
 	}
@@ -45,6 +61,73 @@ func checkWatchInvariant(t *testing.T, s *Solver) {
 	}
 	for _, c := range s.learned {
 		check(c)
+	}
+}
+
+// checkArenaInvariant walks the raw arena and verifies the structural
+// invariants the GC must preserve: the arena parses into back-to-back
+// clause blocks, no block is marked deleted or protected outside a
+// reduction, every watcher/reason/learned-index cref is a live block
+// start, the learned index is in arena order with sequential activity
+// slots, and the activity slice is exactly as long as the live learned
+// count.
+func checkArenaInvariant(t *testing.T, s *Solver) {
+	t.Helper()
+	starts := map[cref]bool{}
+	learnedStarts := 0
+	for c := cref(0); c < cref(len(s.arena)); {
+		h := s.header(c)
+		size := int(h >> hdrSizeShift)
+		if size < 2 {
+			t.Fatalf("arena block at %d has size %d, want ≥ 2", c, size)
+		}
+		if h&hdrDeleted != 0 {
+			t.Fatalf("arena block at %d still marked deleted after GC", c)
+		}
+		if h&hdrProtect != 0 {
+			t.Fatalf("arena block at %d left protect-marked outside reduce", c)
+		}
+		if h&hdrLearned != 0 {
+			learnedStarts++
+		} else if c >= s.problemEnd {
+			t.Fatalf("problem clause at %d above problemEnd %d", c, s.problemEnd)
+		}
+		starts[c] = true
+		c = s.litBase(c) + cref(size)
+	}
+	if len(s.clauseAct) != len(s.learned) || learnedStarts != len(s.learned) {
+		t.Fatalf("learned bookkeeping: %d indexed, %d arena blocks, %d activities",
+			len(s.learned), learnedStarts, len(s.clauseAct))
+	}
+	prev := cref(0)
+	for i, c := range s.learned {
+		if !starts[c] || !s.clauseLearned(c) {
+			t.Fatalf("learned[%d] = %d is not a live learned block", i, c)
+		}
+		if i > 0 && c <= prev {
+			t.Fatalf("learned index out of arena order at %d", i)
+		}
+		prev = c
+		if int(s.actSlot(c)) != i {
+			t.Fatalf("learned[%d] has activity slot %d", i, s.actSlot(c))
+		}
+	}
+	for _, c := range s.clauses {
+		if !starts[c] || s.clauseLearned(c) || c >= s.problemEnd {
+			t.Fatalf("problem cref %d invalid", c)
+		}
+	}
+	for li, ws := range s.watches {
+		for _, w := range ws {
+			if c := cref(w.ref &^ watchBinary); !starts[c] {
+				t.Fatalf("watch list %d references %d, not a live clause start", li, c)
+			}
+		}
+	}
+	for v, r := range s.reason {
+		if r != crefUndef && s.assign[v] != lUndef && !starts[r] {
+			t.Fatalf("reason of assigned var %d references %d, not a live clause start", v, r)
+		}
 	}
 }
 
@@ -60,6 +143,30 @@ func TestWatchInvariantAfterSolve(t *testing.T) {
 		}
 		s.Solve()
 		checkWatchInvariant(t, s)
+		checkArenaInvariant(t, s)
+	}
+}
+
+// TestArenaGCInvariants forces very aggressive reduction so the arena is
+// compacted many times, then checks that every watch entry, reason
+// reference, and learned-index entry is a live cref and the arena parses
+// cleanly — the compaction left no dangling or tombstoned references.
+func TestArenaGCInvariants(t *testing.T) {
+	for _, in := range []gen.Instance{
+		gen.RandomKSAT(80, 340, 3, 5),
+		gen.Pigeonhole(7),
+		gen.Tseitin(14, 3, false, 2),
+	} {
+		s, err := New(in.F, Options{ReduceFirst: 1, ReduceInc: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Solve()
+		if s.stats.Reductions == 0 {
+			t.Fatalf("%s: aggressive schedule produced no reductions", in.Name)
+		}
+		checkWatchInvariant(t, s)
+		checkArenaInvariant(t, s)
 	}
 }
 
@@ -73,13 +180,26 @@ func TestReduceKeepsTier1AndReasons(t *testing.T) {
 	if s.stats.Reductions == 0 {
 		t.Skip("no reductions on this instance")
 	}
+	// The GC reclaims deleted clauses immediately, so surviving learned
+	// clauses are exactly the keepers; tier-1 and binary clauses must all
+	// have survived every reduction.
+	if s.stats.Deleted == 0 {
+		t.Skip("no deletions on this instance")
+	}
 	for _, c := range s.learned {
-		if c.deleted && int(c.glue) <= s.opts.Tier1Glue && len(c.lits) > 2 {
-			t.Fatalf("tier-1 clause (glue %d) was deleted", c.glue)
+		if s.clauseDeleted(c) {
+			t.Fatalf("learned index holds deleted clause %v", s.clauseLits(c))
 		}
-		if c.deleted && len(c.lits) <= 2 {
-			t.Fatal("binary learned clause was deleted")
+	}
+	var bins int64
+	for _, c := range s.learned {
+		if s.clauseSize(c) == 2 {
+			bins++
 		}
+	}
+	if bins != s.stats.BinariesLearned {
+		t.Fatalf("binary learned clauses: %d live, %d ever learned — a binary was deleted",
+			bins, s.stats.BinariesLearned)
 	}
 }
 
@@ -155,14 +275,12 @@ func TestLearnedClauseGluesAreBounded(t *testing.T) {
 	}
 	s.Solve()
 	for _, c := range s.learned {
-		if c.deleted {
-			continue
+		g := s.clauseGlue(c)
+		if g > s.clauseSize(c) {
+			t.Fatalf("glue %d exceeds clause size %d", g, s.clauseSize(c))
 		}
-		if int(c.glue) > len(c.lits) {
-			t.Fatalf("glue %d exceeds clause size %d", c.glue, len(c.lits))
-		}
-		if c.glue < 1 {
-			t.Fatalf("glue %d below 1 for clause %v", c.glue, c.lits)
+		if g < 1 {
+			t.Fatalf("glue %d below 1 for clause %v", g, s.clauseLits(c))
 		}
 	}
 }
@@ -224,8 +342,8 @@ func TestLearnedCountReflectsDeletions(t *testing.T) {
 	s.Solve()
 	live := int64(s.LearnedClauseCount())
 	st := s.Stats()
-	// learned = units + live-or-deleted long clauses; deleted counted
-	// separately.
+	// learned = units + live long clauses + deleted long clauses; the GC
+	// removed the deleted ones from the index.
 	if live > st.Learned-st.UnitsLearned {
 		t.Fatalf("live %d exceeds non-unit learned %d", live, st.Learned-st.UnitsLearned)
 	}

@@ -1,6 +1,10 @@
 package solver
 
-import "neuroselect/internal/cnf"
+import (
+	"sort"
+
+	"neuroselect/internal/cnf"
+)
 
 // lit is the solver-internal literal encoding: variable v (0-based) with
 // polarity bit in the LSB. Positive literal of v is v<<1, negative v<<1|1.
@@ -44,6 +48,26 @@ func toCNFSlice(lits []lit) []cnf.Lit {
 		out[i] = toCNF(l)
 	}
 	return out
+}
+
+// sortLits sorts internal literals ascending — (variable, positive-first)
+// order, matching cnf.Clause.Normalize. Small clauses (the vast majority)
+// use an allocation-free insertion sort; long ones fall back to the
+// library sort.
+func sortLits(ls []lit) {
+	if len(ls) <= 64 {
+		for i := 1; i < len(ls); i++ {
+			x := ls[i]
+			j := i - 1
+			for j >= 0 && ls[j] > x {
+				ls[j+1] = ls[j]
+				j--
+			}
+			ls[j+1] = x
+		}
+		return
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
 }
 
 // lbool is a three-valued truth value.

@@ -137,3 +137,38 @@ func TestOracleFamilyCoverage(t *testing.T) {
 		}
 	}
 }
+
+// TestOracleAggressiveReduction re-runs the differential oracle with the
+// clause database reduced after every single conflict (ReduceFirst=1,
+// ReduceInc=1), the most hostile schedule for the arena's mark-and-compact
+// GC: learned clauses are compacted away while their crefs are still live
+// as reasons on the trail, so any stale watch, reason, or learned-index
+// reference after compaction shows up as a wrong verdict here.
+func TestOracleAggressiveReduction(t *testing.T) {
+	policies := []deletion.Policy{deletion.DefaultPolicy{}, deletion.FrequencyPolicy{}}
+	for _, inst := range oracleInstances() {
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			oracleSat, _ := enumerate(inst.F)
+			for _, p := range policies {
+				t.Run(p.Name(), func(t *testing.T) {
+					res := mustSolve(t, inst.F, Options{
+						Policy:       p,
+						MaxConflicts: 1 << 20,
+						ReduceFirst:  1,
+						ReduceInc:    1,
+					})
+					if res.Status == Unknown {
+						t.Fatalf("oracle instance exhausted its conflict budget: %+v", res.Stats)
+					}
+					if gotSat := res.Status == Sat; gotSat != oracleSat {
+						t.Fatalf("solver says %v, oracle says sat=%v", res.Status, oracleSat)
+					}
+					if res.Status == Sat && !res.Model.Satisfies(inst.F) {
+						t.Fatalf("model does not satisfy the formula: %v", res.Model)
+					}
+				})
+			}
+		})
+	}
+}

@@ -4,14 +4,20 @@ import "neuroselect/internal/faultpoint"
 
 // propagate performs Boolean constraint propagation over the two-watched-
 // literal scheme until fixpoint or conflict. It returns the conflicting
-// clause, or nil. Deleted clauses are dropped lazily from watch lists as
-// they are encountered.
+// clause's cref, or crefUndef.
+//
+// Binary clauses are fully inlined into their watchers: the blocker is the
+// clause's other literal, so the satisfied, propagating, and conflicting
+// cases are all decided without touching arena memory. Longer clauses walk
+// their arena literals looking for a replacement watch, exactly as before.
+// Watch lists never contain deleted clauses — the arena GC rewrites them
+// eagerly at reduce time — so no tombstone check is needed here.
 //
 // Every Options.InterruptEvery propagations it polls the stop sources
 // (context, deadline, Interrupt), so a long BCP chain cannot run
 // unbounded past a stop signal; a raised stop cause is left in s.budget
 // and propagation unwinds as if it reached fixpoint.
-func (s *Solver) propagate() *clause {
+func (s *Solver) propagate() cref {
 	for s.qhead < len(s.trail) {
 		if s.stats.Propagations >= s.nextPoll {
 			s.nextPoll = s.stats.Propagations + s.opts.InterruptEvery
@@ -20,7 +26,7 @@ func (s *Solver) propagate() *clause {
 			}
 			if err := s.checkStop(); err != nil {
 				s.budget = err
-				return nil
+				return crefUndef
 			}
 		}
 		p := s.trail[s.qhead]
@@ -29,34 +35,52 @@ func (s *Solver) propagate() *clause {
 		// ¬p became false and they must be serviced.
 		ws := s.watches[p]
 		kept := ws[:0]
-		var conflict *clause
+		conflict := crefUndef
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
-			if w.c.deleted {
-				continue // lazy removal
-			}
 			// Fast path: the blocker literal already satisfies the clause.
 			if s.value(w.blocker) == lTrue {
 				kept = append(kept, w)
 				continue
 			}
-			c := w.c
-			falseLit := p.not()
-			// Ensure the false watched literal sits at lits[1].
-			if c.lits[0] == falseLit {
-				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			if w.ref&watchBinary != 0 {
+				// Inlined binary clause: the blocker is the other literal,
+				// already known not-true, so the clause either propagates
+				// it or is conflicting — no arena access either way.
+				c := cref(w.ref &^ watchBinary)
+				kept = append(kept, w)
+				if s.value(w.blocker) == lFalse {
+					conflict = c
+					// Leave the clause's literals in the [other, ¬p] order
+					// the generic path would have produced, so conflict
+					// analysis iterates identically.
+					base := s.litBase(c)
+					s.arena[base] = w.blocker
+					s.arena[base+1] = p.not()
+					kept = append(kept, ws[i+1:]...)
+					break
+				}
+				s.enqueue(w.blocker, c)
+				continue
 			}
-			first := c.lits[0]
+			c := cref(w.ref)
+			cls := s.clauseLits(c)
+			falseLit := p.not()
+			// Ensure the false watched literal sits at cls[1].
+			if cls[0] == falseLit {
+				cls[0], cls[1] = cls[1], cls[0]
+			}
+			first := cls[0]
 			if first != w.blocker && s.value(first) == lTrue {
-				kept = append(kept, watcher{c, first})
+				kept = append(kept, watcher{w.ref, first})
 				continue
 			}
 			// Look for a new literal to watch.
 			found := false
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					s.watches[c.lits[1].not()] = append(s.watches[c.lits[1].not()], watcher{c, first})
+			for k := 2; k < len(cls); k++ {
+				if s.value(cls[k]) != lFalse {
+					cls[1], cls[k] = cls[k], cls[1]
+					s.watches[cls[1].not()] = append(s.watches[cls[1].not()], watcher{w.ref, first})
 					found = true
 					break
 				}
@@ -65,7 +89,7 @@ func (s *Solver) propagate() *clause {
 				continue // watcher moved to another list
 			}
 			// Clause is unit or conflicting.
-			kept = append(kept, watcher{c, first})
+			kept = append(kept, watcher{w.ref, first})
 			if s.value(first) == lFalse {
 				conflict = c
 				// Copy the remaining watchers back and stop.
@@ -75,10 +99,10 @@ func (s *Solver) propagate() *clause {
 			s.enqueue(first, c)
 		}
 		s.watches[p] = kept
-		if conflict != nil {
+		if conflict != crefUndef {
 			s.qhead = len(s.trail)
 			return conflict
 		}
 	}
-	return nil
+	return crefUndef
 }

@@ -8,9 +8,12 @@ import (
 )
 
 // reduce deletes the lowest-ranked fraction of reducible learned clauses
-// under the configured deletion policy, then resets the per-variable
-// propagation-frequency window (Eq. 2 counts "since the last clause
-// deletion").
+// under the configured deletion policy, compacts the clause arena to
+// reclaim their memory, then resets the per-variable propagation-frequency
+// window (Eq. 2 counts "since the last clause deletion").
+//
+// The candidate list, score table, and sorter are solver-owned scratch, so
+// a steady-state reduction allocates nothing.
 func (s *Solver) reduce() {
 	if err := faultpoint.Hit(faultpoint.SolverReduce); err != nil {
 		// A failing reduction is an internal invariant violation; escalate
@@ -23,27 +26,26 @@ func (s *Solver) reduce() {
 
 	// Protect reason clauses of the current trail.
 	for _, l := range s.trail {
-		if r := s.reason[l.v()]; r != nil {
-			r.protect = true
+		if r := s.reason[l.v()]; r != crefUndef {
+			s.setFlag(r, hdrProtect)
 		}
 	}
 
-	// Gather reducible candidates: learned, live, above the tier-1 glue
-	// threshold, not binary, not currently a reason.
-	candidates := s.learned[:0:0]
-	live := s.learned[:0]
+	// Gather reducible candidates: learned, above the tier-1 glue
+	// threshold, not binary, not currently a reason. (The learned index
+	// only ever holds live clauses — the GC removes deleted ones.)
+	candidates := s.redCand[:0]
 	for _, c := range s.learned {
-		if c.deleted {
-			continue
-		}
-		live = append(live, c)
-		if c.protect || int(c.glue) <= s.opts.Tier1Glue || len(c.lits) <= 2 {
+		h := s.header(c)
+		if h&hdrProtect != 0 ||
+			int(h>>hdrGlueShift&hdrGlueMax) <= s.opts.Tier1Glue ||
+			int(h>>hdrSizeShift) <= 2 {
 			continue
 		}
 		candidates = append(candidates, c)
 	}
-	s.learned = live
 
+	nDelete := 0
 	if len(candidates) > 0 {
 		fmax := uint64(0)
 		if s.opts.Policy.NeedsFrequency() {
@@ -53,46 +55,71 @@ func (s *Solver) reduce() {
 				}
 			}
 		}
-		scores := make(map[*clause]uint64, len(candidates))
+		scores := s.redScores[:0]
 		for _, c := range candidates {
-			scores[c] = s.scoreClause(c, fmax)
+			scores = append(scores, s.scoreClause(c, fmax))
 		}
-		sort.SliceStable(candidates, func(i, j int) bool {
-			return scores[candidates[i]] < scores[candidates[j]]
-		})
-		nDelete := int(float64(len(candidates)) * s.opts.ReduceFraction)
+		s.redSort.crefs, s.redSort.scores = candidates, scores
+		sort.Stable(&s.redSort)
+		s.redScores = scores
+		nDelete = int(float64(len(candidates)) * s.opts.ReduceFraction)
 		for _, c := range candidates[:nDelete] {
-			c.deleted = true // watchers are dropped lazily in propagate
+			s.setFlag(c, hdrDeleted)
 			s.stats.Deleted++
 			if s.opts.Proof != nil {
-				s.opts.Proof.DeleteClause(toCNFSlice(c.lits))
+				s.opts.Proof.DeleteClause(toCNFSlice(s.clauseLits(c)))
 			}
 		}
 	}
+	s.redCand = candidates
 
-	// Clear protection marks and reset the frequency window.
+	// Clear protection marks.
 	for _, l := range s.trail {
-		if r := s.reason[l.v()]; r != nil {
-			r.protect = false
+		if r := s.reason[l.v()]; r != crefUndef {
+			s.clearFlag(r, hdrProtect)
 		}
 	}
+
+	// Compact the arena, rewriting watch lists, reasons, and the learned
+	// index; after this no deleted clause is reachable anywhere.
+	if nDelete > 0 {
+		s.gcArena()
+	}
+
+	// Reset the frequency window.
 	for i := range s.propFreq {
 		s.propFreq[i] = 0
 	}
 }
 
+// reduceSorter stable-sorts the candidate crefs by ascending score (ties
+// keep learned-index order, matching the previous sort.SliceStable over a
+// score map). It lives on the Solver so sorting allocates nothing.
+type reduceSorter struct {
+	crefs  []cref
+	scores []uint64
+}
+
+func (r *reduceSorter) Len() int           { return len(r.crefs) }
+func (r *reduceSorter) Less(i, j int) bool { return r.scores[i] < r.scores[j] }
+func (r *reduceSorter) Swap(i, j int) {
+	r.crefs[i], r.crefs[j] = r.crefs[j], r.crefs[i]
+	r.scores[i], r.scores[j] = r.scores[j], r.scores[i]
+}
+
 // scoreClause evaluates the deletion policy on a clause, computing the
 // Eq. 2 frequency feature when the policy requires it.
-func (s *Solver) scoreClause(c *clause, fmax uint64) uint64 {
+func (s *Solver) scoreClause(c cref, fmax uint64) uint64 {
+	cls := s.clauseLits(c)
 	ci := deletion.ClauseInfo{
-		Glue:     int(c.glue),
-		Size:     len(c.lits),
-		Activity: c.act,
+		Glue:     s.clauseGlue(c),
+		Size:     len(cls),
+		Activity: s.clauseActivity(c),
 	}
 	if s.opts.Policy.NeedsFrequency() && fmax > 0 {
 		threshold := s.opts.Alpha * float64(fmax)
 		n := 0
-		for _, l := range c.lits {
+		for _, l := range cls {
 			if float64(s.propFreq[l.v()]) > threshold {
 				n++
 			}

@@ -100,6 +100,11 @@ type Options struct {
 	// cancellation latency even when the search produces no conflicts
 	// (default 2048).
 	InterruptEvery int64
+
+	// disableBinaryWatch turns off the inlined binary-clause watch
+	// specialization, forcing binaries through the generic arena path.
+	// Test-only: the search must be bit-identical either way.
+	disableBinaryWatch bool
 }
 
 // ProofLogger receives clause additions and deletions in DIMACS literals;
@@ -157,19 +162,13 @@ type Stats struct {
 	MaxTrail        int
 }
 
-// clause is the internal clause representation. Lits[0] and Lits[1] are the
-// watched literals.
-type clause struct {
-	lits    []lit
-	act     float64
-	glue    int32
-	learned bool
-	deleted bool
-	protect bool // reason-protected during the current reduction
-}
-
+// watcher is one watch-list entry. ref is the watched clause's cref; for
+// binary clauses the watchBinary bit is set and blocker is the clause's
+// other literal, so BCP on binaries never reads the arena. For longer
+// clauses blocker is a literal of the clause whose truth satisfies it
+// (the classic MiniSat blocking literal).
 type watcher struct {
-	c       *clause
+	ref     uint32
 	blocker lit
 }
 
@@ -178,14 +177,21 @@ type Solver struct {
 	opts Options
 
 	numVars int
-	clauses []*clause // problem clauses
-	learned []*clause // learned clauses (may contain deleted entries)
+
+	// arena is the flat clause store (see arena.go for the layout);
+	// problemEnd is the boundary below which clauses never move or die.
+	arena      []lit
+	problemEnd cref
+	clauseAct  []float64 // learned-clause activities, indexed by actSlot
+
+	clauses []cref // problem clauses, in arena order
+	learned []cref // learned clauses, in arena order
 
 	watches [][]watcher // indexed by lit
 
-	assign []lbool   // by var
-	level  []int32   // by var
-	reason []*clause // by var
+	assign []lbool // by var
+	level  []int32 // by var
+	reason []cref  // by var; crefUndef for decisions and unassigned vars
 
 	trail    []lit
 	trailLim []int
@@ -205,6 +211,17 @@ type Solver struct {
 	seen      []bool
 	analyzeTS []int32 // timestamps for glue computation
 	analyzeCt int32
+
+	// Scratch buffers reused across conflicts/reductions so steady-state
+	// analysis and reduction are allocation-free.
+	addBuf      []lit
+	learntBuf   []lit
+	minimizeExt []int
+	redStack    []redFrame
+	redMarked   []int
+	redCand     []cref
+	redScores   []uint64
+	redSort     reduceSorter
 
 	stats  Stats
 	ok     bool // false once top-level conflict is found
@@ -258,7 +275,7 @@ func New(f *cnf.Formula, opts Options) (*Solver, error) {
 		watches:       make([][]watcher, 2*n),
 		assign:        make([]lbool, n),
 		level:         make([]int32, n),
-		reason:        make([]*clause, n),
+		reason:        make([]cref, n),
 		activity:      make([]float64, n),
 		varInc:        1.0,
 		clsInc:        1.0,
@@ -269,6 +286,9 @@ func New(f *cnf.Formula, opts Options) (*Solver, error) {
 		analyzeTS:     make([]int32, n),
 		ok:            true,
 		reduceLimit:   opts.ReduceFirst,
+	}
+	for i := range s.reason {
+		s.reason[i] = crefUndef
 	}
 	for i := range s.phase {
 		s.phase[i] = opts.InitialPhase
@@ -282,6 +302,7 @@ func New(f *cnf.Formula, opts Options) (*Solver, error) {
 			return nil, err
 		}
 	}
+	s.problemEnd = cref(len(s.arena))
 	return s, nil
 }
 
@@ -304,30 +325,42 @@ func (s *Solver) PropagationFrequencies() []uint64 {
 // returned Sat. Index 0 is unused.
 func (s *Solver) Model() cnf.Assignment { return s.model }
 
-// LearnedClauseCount returns the number of live learned clauses.
-func (s *Solver) LearnedClauseCount() int {
-	n := 0
-	for _, c := range s.learned {
-		if !c.deleted {
-			n++
-		}
-	}
-	return n
-}
+// LearnedClauseCount returns the number of live learned clauses. The arena
+// GC reclaims deleted clauses at reduce time, so every indexed clause is
+// live.
+func (s *Solver) LearnedClauseCount() int { return len(s.learned) }
 
 // addClause installs a problem clause, handling empty, unit, and falsified
-// degenerate cases at decision level zero.
+// degenerate cases at decision level zero. Normalization happens in
+// internal-literal space inside a reusable scratch buffer: ascending
+// internal order is (variable, positive-first), the same order
+// cnf.Clause.Normalize produces, so no per-clause copy is allocated.
 func (s *Solver) addClause(raw cnf.Clause) error {
 	if !s.ok {
 		return nil
 	}
-	norm, taut := raw.Clone().Normalize()
-	if taut {
-		return nil
+	buf := s.addBuf[:0]
+	for _, l := range raw {
+		buf = append(buf, fromCNF(l))
 	}
-	lits := make([]lit, 0, len(norm))
-	for _, l := range norm {
-		il := fromCNF(l)
+	s.addBuf = buf
+	sortLits(buf)
+	// Dedupe and detect tautologies: duplicates and complementary pairs
+	// are adjacent after sorting.
+	norm := buf[:0]
+	prev := litUndef
+	for _, il := range buf {
+		if il == prev {
+			continue
+		}
+		if il == prev.not() {
+			return nil // tautology
+		}
+		prev = il
+		norm = append(norm, il)
+	}
+	lits := norm[:0]
+	for _, il := range norm {
 		switch valueOf(il, s.assign[il.v()]) {
 		case lTrue:
 			if s.level[il.v()] == 0 {
@@ -348,24 +381,35 @@ func (s *Solver) addClause(raw cnf.Clause) error {
 		s.ok = false
 		return nil
 	case 1:
-		if !s.enqueue(lits[0], nil) {
+		if !s.enqueue(lits[0], crefUndef) {
 			s.ok = false
 			return nil
 		}
-		if conflict := s.propagate(); conflict != nil {
+		if conflict := s.propagate(); conflict != crefUndef {
 			s.ok = false
 		}
 		return nil
 	}
-	c := &clause{lits: lits}
+	if len(lits) > maxClauseSize {
+		return fmt.Errorf("solver: clause of %d literals exceeds the arena limit of %d", len(lits), maxClauseSize)
+	}
+	c := s.allocClause(lits, false, 0, 0)
 	s.clauses = append(s.clauses, c)
 	s.attach(c)
 	return nil
 }
 
-func (s *Solver) attach(c *clause) {
-	s.watches[c.lits[0].not()] = append(s.watches[c.lits[0].not()], watcher{c, c.lits[1]})
-	s.watches[c.lits[1].not()] = append(s.watches[c.lits[1].not()], watcher{c, c.lits[0]})
+// attach installs the clause's two watchers. Binary clauses are inlined
+// into the watcher (watchBinary tag, blocker = the other literal) so BCP
+// resolves them without reading the arena.
+func (s *Solver) attach(c cref) {
+	cls := s.clauseLits(c)
+	ref := uint32(c)
+	if len(cls) == 2 && !s.opts.disableBinaryWatch {
+		ref |= watchBinary
+	}
+	s.watches[cls[0].not()] = append(s.watches[cls[0].not()], watcher{ref, cls[1]})
+	s.watches[cls[1].not()] = append(s.watches[cls[1].not()], watcher{ref, cls[0]})
 }
 
 // value returns the current truth value of a literal.
@@ -374,9 +418,9 @@ func (s *Solver) value(l lit) lbool { return valueOf(l, s.assign[l.v()]) }
 // decisionLevel returns the current decision level.
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
-// enqueue assigns literal l with the given reason clause (nil for decisions
-// and top-level units). It reports false if l is already false.
-func (s *Solver) enqueue(l lit, from *clause) bool {
+// enqueue assigns literal l with the given reason clause (crefUndef for
+// decisions and top-level units). It reports false if l is already false.
+func (s *Solver) enqueue(l lit, from cref) bool {
 	switch s.value(l) {
 	case lTrue:
 		return true
@@ -395,7 +439,7 @@ func (s *Solver) enqueue(l lit, from *clause) bool {
 	if len(s.trail) > s.stats.MaxTrail {
 		s.stats.MaxTrail = len(s.trail)
 	}
-	if from != nil {
+	if from != crefUndef {
 		s.stats.Propagations++
 		s.propFreq[v]++
 		s.propFreqTotal[v]++
@@ -415,7 +459,7 @@ func (s *Solver) cancelUntil(lvl int) {
 		v := l.v()
 		s.phase[v] = !l.neg()
 		s.assign[v] = lUndef
-		s.reason[v] = nil
+		s.reason[v] = crefUndef
 		if !s.heap.contains(v) {
 			s.heap.push(v)
 		}
@@ -440,11 +484,12 @@ func (s *Solver) bumpVar(v int) {
 
 func (s *Solver) decayVar() { s.varInc /= s.opts.VarDecay }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.act += s.clsInc
-	if c.act > 1e100 {
-		for _, lc := range s.learned {
-			lc.act *= 1e-100
+func (s *Solver) bumpClause(c cref) {
+	slot := s.actSlot(c)
+	s.clauseAct[slot] += s.clsInc
+	if s.clauseAct[slot] > 1e100 {
+		for i := range s.clauseAct {
+			s.clauseAct[i] *= 1e-100
 		}
 		s.clsInc *= 1e-100
 	}
@@ -466,7 +511,7 @@ func (s *Solver) SolveContext(ctx context.Context) Status {
 	if !s.ok {
 		return Unsat
 	}
-	if conflict := s.propagate(); conflict != nil {
+	if conflict := s.propagate(); conflict != crefUndef {
 		s.ok = false
 		return Unsat
 	}
@@ -521,7 +566,7 @@ func (s *Solver) search(conflictLimit int64) Status {
 			s.cancelUntil(0)
 			return Unknown
 		}
-		if conflict != nil {
+		if conflict != crefUndef {
 			s.stats.Conflicts++
 			conflictsHere++
 			if s.decisionLevel() == 0 {
@@ -565,7 +610,7 @@ func (s *Solver) search(conflictLimit int64) Status {
 		}
 		s.stats.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.enqueue(mkLit(v, !s.phase[v]), nil)
+		s.enqueue(mkLit(v, !s.phase[v]), crefUndef)
 	}
 }
 
@@ -581,8 +626,10 @@ func (s *Solver) pickBranchVar() int {
 	return -1
 }
 
-// install attaches a learned clause, enqueues its asserting literal, and
-// updates statistics. learnt[0] is the asserting literal.
+// install copies a learned clause into the arena, attaches it, enqueues its
+// asserting literal, and updates statistics. learnt[0] is the asserting
+// literal; the slice is a reusable scratch buffer, so the copy into the
+// arena is what keeps the clause alive.
 func (s *Solver) install(learnt []lit, glue int) {
 	s.stats.Learned++
 	if s.opts.Proof != nil {
@@ -591,12 +638,12 @@ func (s *Solver) install(learnt []lit, glue int) {
 	switch len(learnt) {
 	case 1:
 		s.stats.UnitsLearned++
-		s.enqueue(learnt[0], nil)
+		s.enqueue(learnt[0], crefUndef)
 		return
 	case 2:
 		s.stats.BinariesLearned++
 	}
-	c := &clause{lits: learnt, learned: true, glue: int32(glue), act: s.clsInc}
+	c := s.allocClause(learnt, true, glue, s.clsInc)
 	s.learned = append(s.learned, c)
 	s.attach(c)
 	s.enqueue(learnt[0], c)

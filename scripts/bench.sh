@@ -1,0 +1,65 @@
+#!/bin/sh
+# Benchmark trajectory gate: runs the solver and DRAT benchmark suites and
+# distills `go test -bench` output into machine-readable BENCH_solver.json
+# so successive PRs can diff ns/op, allocs/op, and solver throughput
+# (props/sec, conflicts/sec) per generator family instead of eyeballing
+# raw benchmark logs.
+#
+# Usage: ./scripts/bench.sh [benchtime]      (default 1s; use e.g. 3s for
+# lower-variance numbers, 1x for a smoke run). Writes BENCH_solver.json in
+# the repo root and echoes the raw benchmark lines as they arrive.
+set -eu
+
+BENCHTIME="${1:-1s}"
+OUT="BENCH_solver.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" \
+	./internal/solver ./internal/drat | tee "$RAW"
+
+awk -v benchtime="$BENCHTIME" '
+	function family(name) {
+		if (name ~ /Random3SAT/ || name ~ /ReduceCost/) return "random3sat"
+		if (name ~ /Pigeonhole/) return "pigeonhole"
+		if (name ~ /Miter/) return "miter"
+		if (name ~ /Tseitin/) return "tseitin"
+		if (name ~ /Propagation/) return "chain"
+		if (name ~ /EmitAndCheck/ || name ~ /RUPCheck/) return "drat"
+		return "other"
+	}
+	function jsonkey(unit) {
+		gsub(/\//, "_per_", unit)
+		gsub(/-/, "_", unit)
+		return unit
+	}
+	/^Benchmark/ {
+		name = $1
+		sub(/-[0-9]+$/, "", name)           # strip the -GOMAXPROCS suffix
+		sub(/^Benchmark/, "", name)
+		printf "%s", (n++ ? ",\n" : "")
+		printf "    {\"name\": \"%s\", \"family\": \"%s\", \"iterations\": %s", \
+			name, family(name), $2
+		# remaining fields come in value/unit pairs: 1234 ns/op 56 B/op ...
+		for (i = 3; i + 1 <= NF; i += 2)
+			printf ", \"%s\": %s", jsonkey($(i + 1)), $i
+		printf "}"
+	}
+	END {
+		if (n == 0) { print "bench.sh: no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+		print ""
+	}
+' "$RAW" > "$OUT.tmp"
+
+{
+	echo "{"
+	echo "  \"benchtime\": \"$BENCHTIME\","
+	echo "  \"go\": \"$(go env GOVERSION)\","
+	echo "  \"benchmarks\": ["
+	cat "$OUT.tmp"
+	echo "  ]"
+	echo "}"
+} > "$OUT"
+rm -f "$OUT.tmp"
+
+echo "wrote $OUT"

@@ -26,6 +26,9 @@ go test -race ./internal/experiments ./internal/portfolio \
 	./internal/sweep ./internal/metrics ./internal/dataset \
 	./internal/solver ./internal/faultpoint
 
+echo "== benchmark smoke (1 iteration per benchmark)"
+go test -run '^$' -bench . -benchtime 1x ./internal/solver ./internal/drat > /dev/null
+
 echo "== coverage (experiments + sweep engine)"
 COVER_PROFILE="$(mktemp)"
 trap 'rm -f "$COVER_PROFILE"' EXIT
