@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"neuroselect/internal/experiments"
+	"neuroselect/internal/obs"
 )
 
 func main() {
@@ -37,6 +38,7 @@ func main() {
 	deterministic := flag.Bool("deterministic", false, "replace wall-clock readings with propagation-derived pseudo-time so output is byte-identical across runs and worker counts")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /debug/pprof for the sweep on this address (e.g. 127.0.0.1:9090)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -96,6 +98,19 @@ func main() {
 	r.Deterministic = *deterministic
 	if !*quiet {
 		r.Log = os.Stderr
+	}
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterProcessMetrics(reg, time.Now())
+		obs.RegisterSweepCounters(reg, &r.Sweep)
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "experiments: metrics listening on %s\n", srv.Addr())
+		r.Obs = reg
 	}
 	start := time.Now()
 	var err error

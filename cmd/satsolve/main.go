@@ -3,15 +3,22 @@
 //
 // Usage:
 //
-//	satsolve [-policy default|frequency|activity|size] [-conflicts N] [-timeout D] [-stats] file.cnf
+//	satsolve [-policy default|frequency|activity|size] [-conflicts N] [-timeout D]
+//	         [-stats] [-stats-json] [-metrics-addr HOST:PORT] [-trace out.jsonl] file.cnf
 //
 // Reads from stdin when no file is given. Exits 10 for SAT, 20 for UNSAT
 // (the SAT-competition convention), 0 for unknown (budget or timeout
 // expired; a "c timeout"-style comment names the cause), 1 for errors.
+//
+// -metrics-addr serves live telemetry (/metrics Prometheus text,
+// /metrics.json, /healthz, /debug/pprof) for the duration of the solve;
+// -trace streams per-window search events as JSONL; -stats-json prints the
+// final statistics as one JSON object after the result lines.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -19,9 +26,11 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"neuroselect"
 	"neuroselect/internal/cnf"
+	"neuroselect/internal/obs"
 	"neuroselect/internal/solver"
 )
 
@@ -58,6 +67,9 @@ func run() int {
 	proofPath := flag.String("proof", "", "write a DRAT proof to this file (incompatible with -simplify)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /debug/pprof on this address during the solve (e.g. 127.0.0.1:9090; :0 picks a port, printed as a comment)")
+	tracePath := flag.String("trace", "", "stream per-window solver events to this file as JSONL")
+	statsJSON := flag.Bool("stats-json", false, "print the final solver statistics as one JSON object on the last stdout line")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -87,6 +99,33 @@ func run() int {
 		}()
 	}
 
+	var tracers []obs.Tracer
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.RegisterProcessMetrics(reg, time.Now())
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return fail(err)
+		}
+		defer srv.Close()
+		fmt.Printf("c metrics listening on %s\n", srv.Addr())
+		tracers = append(tracers, obs.NewMetricsTracer(reg))
+	}
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			return fail(err)
+		}
+		jt := obs.NewJSONLTracer(tf)
+		defer func() {
+			if err := jt.Flush(); err != nil {
+				fmt.Fprintln(os.Stderr, "satsolve: trace:", err)
+			}
+			tf.Close()
+		}()
+		tracers = append(tracers, jt)
+	}
+
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
@@ -105,6 +144,7 @@ func run() int {
 		MaxConflicts: *conflicts,
 		Preprocess:   *simplify,
 		Timeout:      *timeout,
+		Tracer:       obs.Multi(tracers...),
 	}
 	var proofFile *os.File
 	if *proofPath != "" {
@@ -129,6 +169,7 @@ func run() int {
 		fmt.Printf("c policy=%s decisions=%d propagations=%d conflicts=%d restarts=%d reductions=%d learned=%d deleted=%d\n",
 			*policy, st.Decisions, st.Propagations, st.Conflicts, st.Restarts, st.Reductions, st.Learned, st.Deleted)
 	}
+	code := 0
 	switch res.Status {
 	case solver.Sat:
 		fmt.Println("s SATISFIABLE")
@@ -143,17 +184,42 @@ func run() int {
 			}
 			fmt.Println(" 0")
 		}
-		return 10
+		code = 10
 	case solver.Unsat:
 		fmt.Println("s UNSATISFIABLE")
-		return 20
+		code = 20
 	default:
 		if c := stopComment(res.Stop); c != "" {
 			fmt.Println("c " + c)
 		}
 		fmt.Println("s UNKNOWN")
-		return 0
 	}
+	if *statsJSON {
+		if err := printStatsJSON(*policy, res); err != nil {
+			return fail(err)
+		}
+	}
+	return code
+}
+
+// printStatsJSON emits the final statistics as one JSON object on stdout;
+// the schema is solver.Stats' JSON tags wrapped with the outcome.
+func printStatsJSON(policy string, res neuroselect.Result) error {
+	doc := struct {
+		Status string       `json:"status"`
+		Policy string       `json:"policy"`
+		Stop   string       `json:"stop,omitempty"`
+		Stats  solver.Stats `json:"stats"`
+	}{Status: res.Status.String(), Policy: policy, Stats: res.Stats}
+	if res.Stop != nil {
+		doc.Stop = res.Stop.Error()
+	}
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(b))
+	return err
 }
 
 // stopComment maps an Unknown result's stop cause to the comment line

@@ -20,6 +20,7 @@ import (
 	"neuroselect/internal/dataset"
 	"neuroselect/internal/faultpoint"
 	"neuroselect/internal/metrics"
+	"neuroselect/internal/obs"
 	"neuroselect/internal/portfolio"
 	"neuroselect/internal/satgraph"
 )
@@ -122,6 +123,11 @@ type Runner struct {
 	Deterministic bool
 	// Sweep holds the per-worker counters of the most recent sweep.
 	Sweep metrics.SweepCounters
+	// Obs, when non-nil, receives sweep telemetry (the per-cell latency
+	// histogram and running cell counters); pair it with
+	// obs.RegisterSweepCounters(Obs, &r.Sweep) for live queue/worker
+	// gauges, as cmd/experiments -metrics-addr does.
+	Obs *obs.Registry
 
 	logMu     sync.Mutex
 	corpus    *dataset.Corpus

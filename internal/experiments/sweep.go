@@ -16,6 +16,7 @@ func sweepCells[T any](r *Runner, name string, n int, fn func(ctx context.Contex
 		Workers:     r.Workers,
 		CellTimeout: r.CellTimeout,
 		Counters:    &r.Sweep,
+		Registry:    r.Obs,
 	}
 	out, errs := sweep.Map(r.baseContext(), opts, n, fn)
 	r.logf("sweep %s: %s", name, r.Sweep.String())

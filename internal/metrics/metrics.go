@@ -186,10 +186,12 @@ type WorkerCounters struct {
 }
 
 // SweepCounters instruments one parallel sweep: per-worker cell counters, a
-// queue-depth gauge, and the sweep's total wall time. Reset is not safe for
-// concurrent use; everything else is.
+// queue-depth gauge, and the sweep's total wall time. All methods —
+// including Reset — are safe for concurrent use: the worker slice is
+// swapped atomically, so a telemetry scrape (see obs.RegisterSweepCounters)
+// can read the counters while the next sweep is starting.
 type SweepCounters struct {
-	workers []*WorkerCounters
+	workers atomic.Pointer[[]*WorkerCounters]
 	// queueDepth is the number of cells not yet pulled by any worker.
 	queueDepth atomic.Int64
 	wallNS     atomic.Int64
@@ -199,23 +201,32 @@ type SweepCounters struct {
 // Reset prepares the counters for a sweep of cells cells across workers
 // workers, discarding all previous values.
 func (c *SweepCounters) Reset(workers, cells int) {
-	c.workers = make([]*WorkerCounters, workers)
-	for i := range c.workers {
-		c.workers[i] = &WorkerCounters{}
+	ws := make([]*WorkerCounters, workers)
+	for i := range ws {
+		ws[i] = &WorkerCounters{}
 	}
+	c.workers.Store(&ws)
 	c.queueDepth.Store(int64(cells))
 	c.cells.Store(int64(cells))
 	c.wallNS.Store(0)
 }
 
+// load returns the current worker slice (nil before the first Reset).
+func (c *SweepCounters) load() []*WorkerCounters {
+	if p := c.workers.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // NumWorkers returns the worker count of the last Reset.
-func (c *SweepCounters) NumWorkers() int { return len(c.workers) }
+func (c *SweepCounters) NumWorkers() int { return len(c.load()) }
 
 // Cells returns the cell count of the last Reset.
 func (c *SweepCounters) Cells() int64 { return c.cells.Load() }
 
 // Worker returns worker i's counters (i < NumWorkers).
-func (c *SweepCounters) Worker(i int) *WorkerCounters { return c.workers[i] }
+func (c *SweepCounters) Worker(i int) *WorkerCounters { return c.load()[i] }
 
 // CellPulled records that a worker dequeued a cell, decrementing the
 // queue-depth gauge.
@@ -231,7 +242,9 @@ func (c *SweepCounters) SetWall(d time.Duration) { c.wallNS.Store(int64(d)) }
 func (c *SweepCounters) Wall() time.Duration { return time.Duration(c.wallNS.Load()) }
 
 // Started returns the total cells started across workers.
-func (c *SweepCounters) Started() int64 { return c.sum(func(w *WorkerCounters) int64 { return w.Started.Load() }) }
+func (c *SweepCounters) Started() int64 {
+	return c.sum(func(w *WorkerCounters) int64 { return w.Started.Load() })
+}
 
 // Finished returns the total cells finished without error.
 func (c *SweepCounters) Finished() int64 {
@@ -239,7 +252,9 @@ func (c *SweepCounters) Finished() int64 {
 }
 
 // Failed returns the total cells that returned an error.
-func (c *SweepCounters) Failed() int64 { return c.sum(func(w *WorkerCounters) int64 { return w.Failed.Load() }) }
+func (c *SweepCounters) Failed() int64 {
+	return c.sum(func(w *WorkerCounters) int64 { return w.Failed.Load() })
+}
 
 // Busy returns the summed per-worker execution time — the sweep's CPU-time
 // proxy, to compare against Wall for parallel efficiency.
@@ -249,7 +264,7 @@ func (c *SweepCounters) Busy() time.Duration {
 
 func (c *SweepCounters) sum(get func(*WorkerCounters) int64) int64 {
 	var total int64
-	for _, w := range c.workers {
+	for _, w := range c.load() {
 		total += get(w)
 	}
 	return total

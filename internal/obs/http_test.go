@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := buildTestRegistry()
+	RegisterProcessMetrics(r, time.Now())
+	ts := httptest.NewServer(NewHandler(r))
+	defer ts.Close()
+
+	get := func(path string) (string, *http.Response) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+		}
+		return string(body), resp
+	}
+
+	body, resp := get("/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	types, samples := parsePrometheus(t, body)
+	if types["zoo_events_total"] != "counter" || len(samples) == 0 {
+		t.Errorf("/metrics missing expected families; got types %v", types)
+	}
+	if types["process_uptime_seconds"] != "gauge" {
+		t.Error("/metrics missing process gauges")
+	}
+
+	body, resp = get("/metrics.json")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/metrics.json Content-Type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json does not decode: %v", err)
+	}
+	if len(snap.Counters) == 0 || len(snap.Gauges) == 0 || len(snap.Histograms) == 0 {
+		t.Errorf("/metrics.json snapshot incomplete: %+v", snap)
+	}
+
+	body, _ = get("/healthz")
+	if body != "ok\n" {
+		t.Errorf("/healthz = %q, want \"ok\\n\"", body)
+	}
+
+	body, _ = get("/debug/pprof/cmdline")
+	if body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestServeLifecycle(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("up_total", "", nil).Inc()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "up_total 1") {
+		t.Errorf("served metrics missing counter:\n%s", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("listener still reachable after Close")
+	}
+}

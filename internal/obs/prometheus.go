@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one # HELP / # TYPE pair
+// per family, children sorted by label signature, histograms expanded into
+// cumulative _bucket/_sum/_count series with a trailing +Inf bucket.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ)
+		bw.WriteByte('\n')
+		for _, c := range f.children {
+			switch f.typ {
+			case typeCounter:
+				writeSample(bw, f.name, c.labels, "", "", formatInt(c.counter.Value()))
+			case typeGauge:
+				v := c.gauge.Value()
+				if fn := c.gaugeFn.Load(); fn != nil {
+					v = (*fn)()
+				}
+				writeSample(bw, f.name, c.labels, "", "", formatFloat(v))
+			case typeHistogram:
+				h := c.hist
+				cum := int64(0)
+				for i, bound := range h.bounds {
+					cum += h.counts[i].Load()
+					writeSample(bw, f.name+"_bucket", c.labels, "le", formatFloat(bound), formatInt(cum))
+				}
+				cum += h.counts[len(h.bounds)].Load()
+				writeSample(bw, f.name+"_bucket", c.labels, "le", "+Inf", formatInt(cum))
+				writeSample(bw, f.name+"_sum", c.labels, "", "", formatFloat(h.Sum()))
+				writeSample(bw, f.name+"_count", c.labels, "", "", formatInt(h.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one series line: name{labels,extraKey="extraVal"} value.
+func writeSample(bw *bufio.Writer, name string, labels Labels, extraKey, extraVal, value string) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extraKey != "" {
+		bw.WriteByte('{')
+		first := true
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(k)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(labels[k]))
+			bw.WriteByte('"')
+		}
+		if extraKey != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraKey)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(extraVal))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// escapeHelp escapes backslash and newline in help text, per the exposition
+// format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes backslash, double quote, and newline in label values.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

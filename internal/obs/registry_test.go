@@ -1,0 +1,415 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter", nil)
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value() = %d, want 42", got)
+	}
+	if again := r.Counter("test_total", "a counter", nil); again != c {
+		t.Fatal("re-registering the same series must return the same instrument")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "a gauge", nil)
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("Value() = %v, want 1", got)
+	}
+}
+
+func TestGaugeFuncReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("test_fn", "a live gauge", nil, func() float64 { return 1 })
+	r.GaugeFunc("test_fn", "a live gauge", nil, func() float64 { return 2 })
+	snap := r.Snapshot()
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Value != 2 {
+		t.Fatalf("gauges = %+v, want one sample with value 2 (latest fn wins)", snap.Gauges)
+	}
+}
+
+func TestHistogramBucketAssignment(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "a histogram", []float64{1, 2, 4}, nil)
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	// le semantics: 0.5 and 1 land in le=1; 1.5 in le=2; 3 in le=4; 100 in +Inf.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d count = %d, want %d", i, got, w)
+		}
+	}
+	if h.Count() != 5 {
+		t.Errorf("Count() = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Errorf("Sum() = %v, want 106", h.Sum())
+	}
+}
+
+func TestHistogramRejectsUnsortedBuckets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ascending buckets must panic")
+		}
+	}()
+	NewRegistry().Histogram("bad_seconds", "", []float64{1, 1}, nil)
+}
+
+func TestTypeClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge must panic")
+		}
+	}()
+	r.Gauge("clash", "", nil)
+}
+
+func TestLabelSignatureOrderIndependent(t *testing.T) {
+	a := labelSignature(Labels{"a": "1", "b": "2"})
+	b := labelSignature(Labels{"b": "2", "a": "1"})
+	if a != b {
+		t.Fatalf("signature depends on map order: %q vs %q", a, b)
+	}
+	if labelSignature(Labels{"a": "1\x1fb", "c": "2"}) == labelSignature(Labels{"a": "1", "bc": "2"}) {
+		t.Fatal("distinct label sets collide")
+	}
+}
+
+// promSample is one parsed exposition sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// seriesKey identifies a histogram series ignoring the le label.
+func (s promSample) seriesKey() string {
+	keys := make([]string, 0, len(s.labels))
+	for k := range s.labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.name)
+	for _, k := range keys {
+		b.WriteString("\x00" + k + "\x01" + s.labels[k])
+	}
+	return b.String()
+}
+
+// parsePrometheus is a strict mini-parser for the text exposition format
+// (version 0.0.4): it fails the test on any malformed line, returning the
+// TYPE declarations and the samples.
+func parsePrometheus(t *testing.T, text string) (types map[string]string, samples []promSample) {
+	t.Helper()
+	types = map[string]string{}
+	for ln, line := range strings.Split(text, "\n") {
+		n := ln + 1
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			if i := strings.IndexByte(rest, ' '); i <= 0 {
+				t.Fatalf("line %d: HELP without text: %q", n, line)
+			}
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", n, line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", n, parts[3])
+			}
+			types[parts[2]] = parts[3]
+			continue
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unknown comment: %q", n, line)
+		}
+		samples = append(samples, parsePromSample(t, n, line))
+	}
+	return types, samples
+}
+
+func parsePromSample(t *testing.T, n int, line string) promSample {
+	t.Helper()
+	s := promSample{labels: map[string]string{}}
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		t.Fatalf("line %d: no name: %q", n, line)
+	}
+	s.name = line[:i]
+	rest := line[i:]
+	if rest[0] == '{' {
+		rest = rest[1:]
+		for {
+			if rest == "" {
+				t.Fatalf("line %d: unterminated label block: %q", n, line)
+			}
+			if rest[0] == '}' {
+				rest = rest[1:]
+				break
+			}
+			if rest[0] == ',' {
+				rest = rest[1:]
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq <= 0 || eq+1 >= len(rest) || rest[eq+1] != '"' {
+				t.Fatalf("line %d: malformed label: %q", n, line)
+			}
+			key := rest[:eq]
+			rest = rest[eq+2:]
+			var val strings.Builder
+			for {
+				if rest == "" {
+					t.Fatalf("line %d: unterminated label value: %q", n, line)
+				}
+				c := rest[0]
+				switch c {
+				case '"':
+					rest = rest[1:]
+				case '\\':
+					if len(rest) < 2 {
+						t.Fatalf("line %d: dangling escape: %q", n, line)
+					}
+					switch rest[1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						t.Fatalf("line %d: bad escape \\%c", n, rest[1])
+					}
+					rest = rest[2:]
+					continue
+				default:
+					val.WriteByte(c)
+					rest = rest[1:]
+					continue
+				}
+				break
+			}
+			s.labels[key] = val.String()
+		}
+	}
+	if rest == "" || rest[0] != ' ' {
+		t.Fatalf("line %d: missing value: %q", n, line)
+	}
+	switch v := rest[1:]; v {
+	case "+Inf":
+		s.value = math.Inf(1)
+	case "-Inf":
+		s.value = math.Inf(-1)
+	default:
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", n, v, err)
+		}
+		s.value = f
+	}
+	return s
+}
+
+// buildTestRegistry assembles a registry exercising every instrument kind
+// plus label values that need every escape sequence.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("zoo_events_total", "Events seen.\nMultiline help \\ with backslash.",
+		Labels{"kind": `quote " backslash \ newline` + "\n" + `end`}).Add(7)
+	r.Counter("zoo_events_total", "Events seen.", Labels{"kind": "plain"}).Add(3)
+	r.Counter("alpha_total", "First family by name.", nil).Inc()
+	r.Gauge("zoo_depth", "Current depth.", nil).Set(2.5)
+	r.GaugeFunc("zoo_live", "Computed at scrape time.", nil, func() float64 { return 9 })
+	h := r.Histogram("zoo_seconds", "Latency.", []float64{0.1, 0.5, 2}, Labels{"op": "solve"})
+	for _, v := range []float64{0.05, 0.3, 0.3, 1, 5} {
+		h.Observe(v)
+	}
+	return r
+}
+
+func TestWritePrometheusParsesCleanly(t *testing.T) {
+	r := buildTestRegistry()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	types, samples := parsePrometheus(t, buf.String())
+
+	// Every sample belongs to a declared family; suffixed histogram series
+	// resolve to their base name.
+	for _, s := range samples {
+		base := s.name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b := strings.TrimSuffix(s.name, suf); b != s.name && types[b] == "histogram" {
+				base = b
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Errorf("sample %q has no TYPE declaration", s.name)
+		}
+	}
+
+	// Label escaping round-trips: the parsed value is the original string.
+	nasty := `quote " backslash \ newline` + "\n" + `end`
+	found := false
+	for _, s := range samples {
+		if s.name == "zoo_events_total" && s.labels["kind"] == nasty {
+			found = true
+			if s.value != 7 {
+				t.Errorf("escaped-label counter = %v, want 7", s.value)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("escaped label value did not round-trip; output:\n%s", buf.String())
+	}
+
+	// Families appear in sorted order.
+	var familyOrder []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			familyOrder = append(familyOrder, strings.Fields(line)[2])
+		}
+	}
+	if !sort.StringsAreSorted(familyOrder) {
+		t.Errorf("families not sorted: %v", familyOrder)
+	}
+
+	checkHistogramSeries(t, samples)
+}
+
+// checkHistogramSeries validates, for every histogram series, that bucket
+// counts are cumulative (monotone nondecreasing in le order), that the +Inf
+// bucket is present, and that it equals the _count sample.
+func checkHistogramSeries(t *testing.T, samples []promSample) {
+	t.Helper()
+	type bucket struct {
+		le    float64
+		count float64
+	}
+	buckets := map[string][]bucket{}
+	counts := map[string]float64{}
+	for _, s := range samples {
+		if strings.HasSuffix(s.name, "_bucket") {
+			le, ok := s.labels["le"]
+			if !ok {
+				t.Errorf("bucket sample without le label: %+v", s)
+				continue
+			}
+			var bound float64
+			if le == "+Inf" {
+				bound = math.Inf(1)
+			} else {
+				var err error
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Errorf("unparsable le %q", le)
+					continue
+				}
+			}
+			key := promSample{name: strings.TrimSuffix(s.name, "_bucket"), labels: s.labels}.seriesKey()
+			buckets[key] = append(buckets[key], bucket{bound, s.value})
+		}
+		if strings.HasSuffix(s.name, "_count") {
+			key := promSample{name: strings.TrimSuffix(s.name, "_count"), labels: s.labels}.seriesKey()
+			counts[key] = s.value
+		}
+	}
+	if len(buckets) == 0 {
+		t.Error("no histogram series found")
+	}
+	for key, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.le, 1) {
+			t.Errorf("%s: no +Inf bucket", key)
+		}
+		for i := 1; i < len(bs); i++ {
+			if bs[i].count < bs[i-1].count {
+				t.Errorf("%s: bucket counts not cumulative: le=%v count=%v < previous %v",
+					key, bs[i].le, bs[i].count, bs[i-1].count)
+			}
+		}
+		total, ok := counts[key]
+		if !ok {
+			t.Errorf("%s: no _count sample", key)
+		} else if last.count != total {
+			t.Errorf("%s: +Inf bucket %v != _count %v", key, last.count, total)
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := buildTestRegistry()
+	snap := r.Snapshot()
+	b, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("snapshot does not round-trip through JSON:\n got %+v\nwant %+v", back, snap)
+	}
+	// Histogram sample carries non-cumulative per-bucket counts with the
+	// +Inf bucket flagged, summing to Count.
+	for _, h := range snap.Histograms {
+		var sum int64
+		for _, b := range h.Buckets {
+			sum += b.Count
+		}
+		if sum != h.Count {
+			t.Errorf("%s: bucket counts sum to %d, Count = %d", h.Name, sum, h.Count)
+		}
+		if last := h.Buckets[len(h.Buckets)-1]; !last.Inf {
+			t.Errorf("%s: final bucket not marked Inf", h.Name)
+		}
+	}
+}
+
+func TestExpositionDeterministic(t *testing.T) {
+	r := buildTestRegistry()
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("consecutive WritePrometheus outputs differ")
+	}
+	if !reflect.DeepEqual(r.Snapshot(), r.Snapshot()) {
+		t.Error("consecutive snapshots differ")
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Snapshot is a point-in-time JSON-encodable view of a registry. The field
+// tags are the JSON schema; CounterSample/GaugeSample/HistogramSample
+// round-trip losslessly through encoding/json (bucket bounds are finite, so
+// no ±Inf leaks into the encoding).
+type Snapshot struct {
+	Counters   []CounterSample   `json:"counters"`
+	Gauges     []GaugeSample     `json:"gauges"`
+	Histograms []HistogramSample `json:"histograms"`
+}
+
+// CounterSample is one counter series.
+type CounterSample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// GaugeSample is one gauge series (direct or function-backed).
+type GaugeSample struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// HistogramSample is one histogram series with per-bucket (non-cumulative)
+// counts; the +Inf bucket is the final entry with no upper bound set.
+type HistogramSample struct {
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Buckets []BucketCount     `json:"buckets"`
+	Sum     float64           `json:"sum"`
+	Count   int64             `json:"count"`
+}
+
+// BucketCount is one histogram bucket. Inf marks the overflow bucket, whose
+// UpperBound is meaningless.
+type BucketCount struct {
+	UpperBound float64 `json:"le"`
+	Inf        bool    `json:"inf,omitempty"`
+	Count      int64   `json:"count"`
+}
+
+// Snapshot captures every series in the registry, deterministically ordered
+// (families by name, children by label signature).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   []CounterSample{},
+		Gauges:     []GaugeSample{},
+		Histograms: []HistogramSample{},
+	}
+	for _, f := range r.snapshotFamilies() {
+		for _, c := range f.children {
+			switch f.typ {
+			case typeCounter:
+				snap.Counters = append(snap.Counters, CounterSample{
+					Name: f.name, Labels: c.labels, Value: c.counter.Value(),
+				})
+			case typeGauge:
+				v := c.gauge.Value()
+				if fn := c.gaugeFn.Load(); fn != nil {
+					v = (*fn)()
+				}
+				snap.Gauges = append(snap.Gauges, GaugeSample{
+					Name: f.name, Labels: c.labels, Value: v,
+				})
+			case typeHistogram:
+				h := c.hist
+				hs := HistogramSample{
+					Name: f.name, Labels: c.labels,
+					Buckets: make([]BucketCount, 0, len(h.bounds)+1),
+					Sum:     h.Sum(), Count: h.Count(),
+				}
+				for i, bound := range h.bounds {
+					hs.Buckets = append(hs.Buckets, BucketCount{UpperBound: bound, Count: h.counts[i].Load()})
+				}
+				hs.Buckets = append(hs.Buckets, BucketCount{Inf: true, Count: h.counts[len(h.bounds)].Load()})
+				snap.Histograms = append(snap.Histograms, hs)
+			}
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as one indented JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+type captureTracer struct{ events []Event }
+
+func (c *captureTracer) Trace(ev *Event) { c.events = append(c.events, *ev) }
+
+func TestMulti(t *testing.T) {
+	if Multi() != nil {
+		t.Error("Multi() must be nil")
+	}
+	if Multi(nil, nil) != nil {
+		t.Error("Multi(nil, nil) must be nil")
+	}
+	single := &captureTracer{}
+	if got := Multi(nil, single); got != Tracer(single) {
+		t.Error("Multi with one live tracer must return it unwrapped")
+	}
+	a, b := &captureTracer{}, &captureTracer{}
+	m := Multi(a, nil, b)
+	m.Trace(&Event{Type: EventRestart})
+	if len(a.events) != 1 || len(b.events) != 1 {
+		t.Errorf("fan-out delivered %d/%d events, want 1/1", len(a.events), len(b.events))
+	}
+}
+
+func TestJSONLTracerRoundTrip(t *testing.T) {
+	events := []Event{
+		{Type: EventSolveStart, Vars: 56, Clauses: 204, Policy: "frequency"},
+		{Type: EventWindow, TimeNS: 12345, Conflicts: 256, Decisions: 300,
+			Propagations: 9000, Learned: 255, LiveLearned: 200, ArenaWords: 4096,
+			WindowConflicts: 256, PropsPerSec: 1.5e6, MeanGlue: 4.25,
+			TrailDepth: 17, MaxTrail: 42},
+		{Type: EventReduce, TimeNS: 23456, Conflicts: 600, Reductions: 1,
+			Deleted: 120, Candidates: 240, ReduceDeleted: 120,
+			GCCompactions: 1, GCLitsReclaimed: 700, GCBytesMoved: 5000},
+		{Type: EventPolicy, Policy: "activity", Prob: 0.75, Fallback: "default", InferenceNS: 900},
+		{Type: EventSolveEnd, TimeNS: 99999, Conflicts: 700, Status: "UNSAT"},
+	}
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	for i := range events {
+		tr.Trace(&events[i])
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(events) {
+		t.Fatalf("%d JSONL lines for %d events", len(lines), len(events))
+	}
+	for i, line := range lines {
+		var back Event
+		if err := json.Unmarshal([]byte(line), &back); err != nil {
+			t.Fatalf("line %d does not parse: %v\n%s", i+1, err, line)
+		}
+		if !reflect.DeepEqual(back, events[i]) {
+			t.Errorf("line %d round-trip mismatch:\n got %+v\nwant %+v", i+1, back, events[i])
+		}
+		// Schema stability: the discriminator and timestamp keys are always
+		// present under their documented names.
+		var raw map[string]any
+		if err := json.Unmarshal([]byte(line), &raw); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := raw["type"]; !ok {
+			t.Errorf("line %d missing \"type\"", i+1)
+		}
+		if _, ok := raw["t_ns"]; !ok {
+			t.Errorf("line %d missing \"t_ns\"", i+1)
+		}
+	}
+}
+
+type failWriter struct{ err error }
+
+func (w failWriter) Write(p []byte) (int, error) { return 0, w.err }
+
+func TestJSONLTracerStickyError(t *testing.T) {
+	boom := errors.New("disk full")
+	tr := NewJSONLTracer(failWriter{boom})
+	// Overflow the bufio buffer so the write error surfaces.
+	big := Event{Type: EventWindow, Policy: strings.Repeat("x", 1<<16)}
+	tr.Trace(&big)
+	tr.Trace(&big)
+	if err := tr.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("Flush() = %v, want sticky %v", err, boom)
+	}
+	if err := tr.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("second Flush() = %v, want sticky %v", err, boom)
+	}
+}
+
+func TestMetricsTracerDeltas(t *testing.T) {
+	r := NewRegistry()
+	mt := NewMetricsTracer(r)
+	mt.Trace(&Event{Type: EventSolveStart, Vars: 50, Clauses: 200, Policy: "default"})
+	mt.Trace(&Event{Type: EventWindow, Conflicts: 100, Decisions: 150, Propagations: 4000,
+		Learned: 99, LiveLearned: 90, ArenaWords: 1024,
+		WindowConflicts: 100, PropsPerSec: 2e6, MeanGlue: 3.5, TrailDepth: 12})
+	mt.Trace(&Event{Type: EventRestart, Conflicts: 130, Decisions: 180, Propagations: 5000,
+		Restarts: 1, Learned: 129, LiveLearned: 120, ArenaWords: 1024})
+	mt.Trace(&Event{Type: EventReduce, Conflicts: 150, Decisions: 200, Propagations: 6000,
+		Restarts: 1, Reductions: 1, Learned: 149, Deleted: 60,
+		GCCompactions: 1, GCLitsReclaimed: 300, GCBytesMoved: 2048,
+		LiveLearned: 89, ArenaWords: 900})
+	mt.Trace(&Event{Type: EventSolveEnd, Conflicts: 160, Decisions: 210, Propagations: 6400,
+		Restarts: 1, Reductions: 1, Learned: 158, Deleted: 60,
+		GCCompactions: 1, GCLitsReclaimed: 300, GCBytesMoved: 2048,
+		LiveLearned: 98, ArenaWords: 950, Status: "SAT"})
+
+	// Counters hold the final cumulative values: the deltas telescope.
+	wantCounters := map[string]int64{
+		"neuroselect_solver_conflicts_total":             160,
+		"neuroselect_solver_decisions_total":             210,
+		"neuroselect_solver_propagations_total":          6400,
+		"neuroselect_solver_restarts_total":              1,
+		"neuroselect_solver_reductions_total":            1,
+		"neuroselect_solver_learned_total":               158,
+		"neuroselect_solver_deleted_total":               60,
+		"neuroselect_solver_gc_compactions_total":        1,
+		"neuroselect_solver_gc_literals_reclaimed_total": 300,
+		"neuroselect_solver_gc_bytes_moved_total":        2048,
+	}
+	snap := r.Snapshot()
+	got := map[string]int64{}
+	for _, c := range snap.Counters {
+		if c.Labels == nil {
+			got[c.Name] = c.Value
+		}
+	}
+	for name, want := range wantCounters {
+		if got[name] != want {
+			t.Errorf("%s = %d, want %d", name, got[name], want)
+		}
+	}
+	gauges := map[string]float64{}
+	for _, g := range snap.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	for name, want := range map[string]float64{
+		"neuroselect_solver_variables":        50,
+		"neuroselect_solver_clauses":          200,
+		"neuroselect_solver_props_per_sec":    2e6,
+		"neuroselect_solver_mean_glue":        3.5,
+		"neuroselect_solver_trail_depth":      12,
+		"neuroselect_solver_window_conflicts": 100,
+		"neuroselect_solver_live_learned":     98,
+		"neuroselect_solver_arena_words":      950,
+	} {
+		if gauges[name] != want {
+			t.Errorf("gauge %s = %v, want %v", name, gauges[name], want)
+		}
+	}
+	var solves int64 = -1
+	for _, c := range snap.Counters {
+		if c.Name == "neuroselect_solver_solves_total" && c.Labels["status"] == "SAT" {
+			solves = c.Value
+		}
+	}
+	if solves != 1 {
+		t.Errorf("solves_total{status=SAT} = %d, want 1", solves)
+	}
+
+	// A second solve through the same tracer resets the delta base at
+	// solve_start, so cumulative counters keep accumulating instead of
+	// jumping backwards.
+	mt.Trace(&Event{Type: EventSolveStart, Vars: 10, Clauses: 30})
+	mt.Trace(&Event{Type: EventSolveEnd, Conflicts: 40, Status: "UNSAT"})
+	if v := r.Counter("neuroselect_solver_conflicts_total", "", nil).Value(); v != 200 {
+		t.Errorf("conflicts after second solve = %d, want 200", v)
+	}
+}

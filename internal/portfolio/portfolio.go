@@ -16,6 +16,7 @@ import (
 	"neuroselect/internal/dataset"
 	"neuroselect/internal/deletion"
 	"neuroselect/internal/faultpoint"
+	"neuroselect/internal/obs"
 	"neuroselect/internal/satgraph"
 	"neuroselect/internal/solver"
 )
@@ -56,6 +57,12 @@ type Selector struct {
 	// exceeded the selector falls back to the default policy, matching
 	// the paper's degrade-to-Kissat behaviour (0 = unbounded).
 	InferenceTimeout time.Duration
+	// Obs, when non-nil, records every selection decision as metrics:
+	// neuroselect_portfolio_choices_total{policy,fallback} and the
+	// inference-latency histogram neuroselect_portfolio_inference_seconds.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives one EventPolicy per Choose call.
+	Tracer obs.Tracer
 }
 
 // NewSelector wraps a trained model with the standard threshold and node
@@ -91,7 +98,7 @@ func (s *Selector) Choose(f *cnf.Formula) Choice {
 		cap = NodeCapDefault
 	}
 	if f.NumVars+len(f.Clauses) > cap {
-		return Choice{Policy: deletion.DefaultPolicy{}, Prob: -1, Fallback: FallbackNodeCap}
+		return s.record(Choice{Policy: deletion.DefaultPolicy{}, Prob: -1, Fallback: FallbackNodeCap})
 	}
 	start := time.Now()
 	prob, err := s.infer(f)
@@ -108,12 +115,39 @@ func (s *Selector) Choose(f *cnf.Formula) Choice {
 		default:
 			ch.Fallback = FallbackError
 		}
-		return ch
+		return s.record(ch)
 	}
 	if prob >= s.Threshold {
 		ch.Policy = deletion.FrequencyPolicy{}
 	} else {
 		ch.Policy = deletion.DefaultPolicy{}
+	}
+	return s.record(ch)
+}
+
+// record publishes one selection decision to the selector's registry and
+// tracer (both optional) and returns the choice unchanged.
+func (s *Selector) record(ch Choice) Choice {
+	if s.Obs != nil {
+		fb := ch.Fallback
+		if fb == "" {
+			fb = "none"
+		}
+		s.Obs.Counter("neuroselect_portfolio_choices_total",
+			"Policy-selection decisions by chosen policy and fallback reason.",
+			obs.Labels{"policy": ch.Policy.Name(), "fallback": fb}).Inc()
+		s.Obs.Histogram("neuroselect_portfolio_inference_seconds",
+			"Wall-clock latency of the one-time model inference.",
+			nil, nil).Observe(ch.Inference.Seconds())
+	}
+	if s.Tracer != nil {
+		s.Tracer.Trace(&obs.Event{
+			Type:        obs.EventPolicy,
+			Policy:      ch.Policy.Name(),
+			Prob:        ch.Prob,
+			Fallback:    ch.Fallback,
+			InferenceNS: ch.Inference.Nanoseconds(),
+		})
 	}
 	return ch
 }

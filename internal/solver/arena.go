@@ -187,16 +187,21 @@ func (s *Solver) gcArena() {
 		size := cref(h >> hdrSizeShift)
 		blk := size + 2 // learned clauses only: header + actSlot + lits
 		if h&hdrDeleted != 0 {
+			s.stats.GCLitsReclaimed += int64(size)
 			r += blk
 			continue
 		}
 		dst := cref(uint32(s.arena[r+1]))
+		if dst != r {
+			s.stats.GCBytesMoved += int64(blk) * 4
+		}
 		s.arena[dst] = lit(h)
 		s.arena[dst+1] = lit(slot)
 		copy(s.arena[dst+2:dst+2+size], s.arena[r+2:r+2+size])
 		slot++
 		r += blk
 	}
+	s.stats.GCCompactions++
 	s.arena = s.arena[:w]
 	s.clauseAct = s.clauseAct[:slot]
 	s.learned = live

@@ -5,6 +5,7 @@ import (
 
 	"neuroselect/internal/deletion"
 	"neuroselect/internal/faultpoint"
+	"neuroselect/internal/obs"
 )
 
 // reduce deletes the lowest-ranked fraction of reducible learned clauses
@@ -84,6 +85,13 @@ func (s *Solver) reduce() {
 	// index; after this no deleted clause is reachable anywhere.
 	if nDelete > 0 {
 		s.gcArena()
+	}
+
+	if t := s.opts.Tracer; t != nil {
+		ev := s.traceEvent(obs.EventReduce)
+		ev.Candidates = len(candidates)
+		ev.ReduceDeleted = nDelete
+		t.Trace(ev)
 	}
 
 	// Reset the frequency window.

@@ -19,6 +19,7 @@ import (
 
 	"neuroselect/internal/cnf"
 	"neuroselect/internal/deletion"
+	"neuroselect/internal/obs"
 )
 
 // Status is the outcome of a solve call.
@@ -100,6 +101,16 @@ type Options struct {
 	// cancellation latency even when the search produces no conflicts
 	// (default 2048).
 	InterruptEvery int64
+	// Tracer, when non-nil, receives structured search events at the
+	// solver's cold-path boundaries: solve start/end, every restart, every
+	// reduction (with arena-GC detail), and a rollup every TraceWindow
+	// conflicts (props/sec, mean glue, trail depth). A nil Tracer is
+	// zero-cost: no event is constructed, no counter beyond Stats is
+	// maintained, and the search trajectory is bit-identical either way.
+	Tracer obs.Tracer
+	// TraceWindow is the conflict count per rollup window (default 256;
+	// meaningful only with Tracer set).
+	TraceWindow int64
 
 	// disableBinaryWatch turns off the inlined binary-clause watch
 	// specialization, forcing binaries through the generic arena path.
@@ -145,21 +156,30 @@ func (o *Options) fillDefaults() {
 	if o.InterruptEvery == 0 {
 		o.InterruptEvery = 2048
 	}
+	if o.TraceWindow == 0 {
+		o.TraceWindow = 256
+	}
 }
 
-// Stats aggregates search counters.
+// Stats aggregates search counters. The JSON tags are the schema of
+// satsolve's -stats-json output and are append-only.
 type Stats struct {
-	Decisions       int64
-	Propagations    int64
-	Conflicts       int64
-	Restarts        int64
-	Reductions      int64
-	Learned         int64 // learned clauses added
-	Deleted         int64 // learned clauses deleted by reduction
-	UnitsLearned    int64
-	BinariesLearned int64
-	MinimizedLits   int64 // literals removed by clause minimization
-	MaxTrail        int
+	Decisions       int64 `json:"decisions"`
+	Propagations    int64 `json:"propagations"`
+	Conflicts       int64 `json:"conflicts"`
+	Restarts        int64 `json:"restarts"`
+	Reductions      int64 `json:"reductions"`
+	Learned         int64 `json:"learned"` // learned clauses added
+	Deleted         int64 `json:"deleted"` // learned clauses deleted by reduction
+	UnitsLearned    int64 `json:"units_learned"`
+	BinariesLearned int64 `json:"binaries_learned"`
+	MinimizedLits   int64 `json:"minimized_lits"` // literals removed by clause minimization
+	MaxTrail        int   `json:"max_trail"`
+	// Arena-GC counters: reduce-time mark-and-compact passes over the
+	// learned region of the clause arena.
+	GCCompactions   int64 `json:"gc_compactions"`    // compaction passes run
+	GCLitsReclaimed int64 `json:"gc_lits_reclaimed"` // literal words of deleted clauses reclaimed
+	GCBytesMoved    int64 `json:"gc_bytes_moved"`    // bytes of surviving clauses slid down
 }
 
 // watcher is one watch-list entry. ref is the watched clause's cref; for
@@ -233,6 +253,15 @@ type Solver struct {
 	nextPoll int64
 
 	reduceLimit int64
+
+	// Conflict-window trace state, touched only when opts.Tracer is
+	// non-nil (the zero-cost-when-nil contract).
+	traceStart time.Time // solve start; event timestamps are relative to it
+	winStart   time.Time // wall clock at the last window boundary
+	winGlue    int64     // summed glue of clauses learned this window
+	winConfs   int64     // cumulative conflicts at the last boundary
+	winProps   int64     // cumulative propagations at the last boundary
+	nextWindow int64     // conflict count that closes the current window
 
 	model cnf.Assignment
 }
@@ -508,6 +537,30 @@ func (s *Solver) Solve() Status { return s.SolveContext(context.Background()) }
 func (s *Solver) SolveContext(ctx context.Context) Status {
 	s.ctx = ctx
 	defer func() { s.ctx = nil }()
+	t := s.opts.Tracer
+	if t != nil {
+		now := time.Now()
+		s.traceStart, s.winStart = now, now
+		s.winGlue = 0
+		s.winConfs, s.winProps = s.stats.Conflicts, s.stats.Propagations
+		s.nextWindow = s.stats.Conflicts + s.opts.TraceWindow
+		ev := &obs.Event{Type: obs.EventSolveStart, Vars: s.numVars, Clauses: len(s.clauses)}
+		if s.opts.Policy != nil {
+			ev.Policy = s.opts.Policy.Name()
+		}
+		t.Trace(ev)
+	}
+	st := s.solveLoop()
+	if t != nil {
+		ev := s.traceEvent(obs.EventSolveEnd)
+		ev.Status = st.String()
+		t.Trace(ev)
+	}
+	return st
+}
+
+// solveLoop is the restart-driving search loop behind SolveContext.
+func (s *Solver) solveLoop() Status {
 	if !s.ok {
 		return Unsat
 	}
@@ -530,7 +583,56 @@ func (s *Solver) SolveContext(ctx context.Context) Status {
 		}
 		restarts++
 		s.stats.Restarts++
+		if t := s.opts.Tracer; t != nil {
+			t.Trace(s.traceEvent(obs.EventRestart))
+		}
 	}
+}
+
+// traceEvent builds an event carrying the cumulative counter snapshot that
+// every non-start event shares. Only called with a tracer installed.
+func (s *Solver) traceEvent(typ string) *obs.Event {
+	return &obs.Event{
+		Type:            typ,
+		TimeNS:          time.Since(s.traceStart).Nanoseconds(),
+		Conflicts:       s.stats.Conflicts,
+		Decisions:       s.stats.Decisions,
+		Propagations:    s.stats.Propagations,
+		Restarts:        s.stats.Restarts,
+		Reductions:      s.stats.Reductions,
+		Learned:         s.stats.Learned,
+		Deleted:         s.stats.Deleted,
+		LiveLearned:     len(s.learned),
+		ArenaWords:      len(s.arena),
+		GCCompactions:   s.stats.GCCompactions,
+		GCLitsReclaimed: s.stats.GCLitsReclaimed,
+		GCBytesMoved:    s.stats.GCBytesMoved,
+	}
+}
+
+// traceWindow closes the current conflict window: emits the rollup event
+// (propagation rate, mean learned glue, trail depth) and opens the next
+// window. Only called with a tracer installed.
+func (s *Solver) traceWindow(t obs.Tracer) {
+	now := time.Now()
+	confs := s.stats.Conflicts - s.winConfs
+	props := s.stats.Propagations - s.winProps
+	ev := s.traceEvent(obs.EventWindow)
+	ev.WindowConflicts = confs
+	if dt := now.Sub(s.winStart).Seconds(); dt > 0 {
+		ev.PropsPerSec = float64(props) / dt
+	}
+	if confs > 0 {
+		ev.MeanGlue = float64(s.winGlue) / float64(confs)
+	}
+	ev.TrailDepth = len(s.trail)
+	ev.MaxTrail = s.stats.MaxTrail
+	t.Trace(ev)
+	s.winStart = now
+	s.winGlue = 0
+	s.winConfs = s.stats.Conflicts
+	s.winProps = s.stats.Propagations
+	s.nextWindow = s.stats.Conflicts + s.opts.TraceWindow
 }
 
 // checkStop evaluates every asynchronous stop source — context
@@ -578,6 +680,12 @@ func (s *Solver) search(conflictLimit int64) Status {
 			s.install(learnt, glue)
 			s.decayVar()
 			s.decayClause()
+			if t := s.opts.Tracer; t != nil {
+				s.winGlue += int64(glue)
+				if s.stats.Conflicts >= s.nextWindow {
+					s.traceWindow(t)
+				}
+			}
 			if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
 				s.budget = ErrConflictBudget
 				s.cancelUntil(0)

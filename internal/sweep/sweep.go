@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"neuroselect/internal/metrics"
+	"neuroselect/internal/obs"
 )
 
 // Options configures one Map run.
@@ -37,6 +38,12 @@ type Options struct {
 	// Counters, when non-nil, is Reset and filled with per-worker
 	// instrumentation for the run.
 	Counters *metrics.SweepCounters
+	// Registry, when non-nil, receives the per-cell latency histogram
+	// neuroselect_sweep_cell_seconds and the running cell counters
+	// neuroselect_sweep_cells_total{status}, accumulated across Map runs.
+	// Live queue/worker gauges come from obs.RegisterSweepCounters over
+	// the same Counters object.
+	Registry *obs.Registry
 }
 
 // Map runs fn for cells 0..n-1 across a bounded worker pool and returns the
@@ -60,6 +67,16 @@ func Map[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Co
 	c := opts.Counters
 	if c != nil {
 		c.Reset(workers, n)
+	}
+	var cellHist *obs.Histogram
+	var cellsOK, cellsErr *obs.Counter
+	if opts.Registry != nil {
+		cellHist = opts.Registry.Histogram("neuroselect_sweep_cell_seconds",
+			"Latency of one sweep cell (one solve of one instance under one policy).", nil, nil)
+		cellsOK = opts.Registry.Counter("neuroselect_sweep_cells_total",
+			"Sweep cells completed, by outcome.", obs.Labels{"status": "ok"})
+		cellsErr = opts.Registry.Counter("neuroselect_sweep_cells_total",
+			"Sweep cells completed, by outcome.", obs.Labels{"status": "error"})
 	}
 	start := time.Now()
 
@@ -110,12 +127,21 @@ func Map[T any](ctx context.Context, opts Options, n int, fn func(ctx context.Co
 				}
 				cellStart := time.Now()
 				v, err := runCell(ctx, opts.CellTimeout, i, fn)
+				elapsed := time.Since(cellStart)
 				if wc != nil {
-					wc.BusyNS.Add(int64(time.Since(cellStart)))
+					wc.BusyNS.Add(int64(elapsed))
 					if err != nil {
 						wc.Failed.Add(1)
 					} else {
 						wc.Finished.Add(1)
+					}
+				}
+				if cellHist != nil {
+					cellHist.Observe(elapsed.Seconds())
+					if err != nil {
+						cellsErr.Inc()
+					} else {
+						cellsOK.Inc()
 					}
 				}
 				results <- cellResult{i: i, v: v, err: err}

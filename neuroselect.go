@@ -27,6 +27,7 @@ import (
 	"neuroselect/internal/deletion"
 	"neuroselect/internal/drat"
 	"neuroselect/internal/experiments"
+	"neuroselect/internal/obs"
 	"neuroselect/internal/portfolio"
 	"neuroselect/internal/simp"
 	"neuroselect/internal/solver"
@@ -48,6 +49,14 @@ type (
 	Result = solver.Result
 	// Model is a trained NeuroSelect policy-selection model.
 	Model = core.Model
+	// Tracer receives structured search events from the solver's cold
+	// paths (restarts, reductions, conflict-window rollups); see
+	// SolveConfig.Tracer. internal/obs ships JSONL and metrics-registry
+	// implementations.
+	Tracer = obs.Tracer
+	// TraceEvent is one structured search event; its JSON tags define the
+	// JSONL trace schema.
+	TraceEvent = obs.Event
 )
 
 // Solve outcomes.
@@ -102,6 +111,10 @@ type SolveConfig struct {
 	// Result.Stop = ErrDeadline (0 = unbounded). The analogue of the
 	// paper's 5,000-second cutoff.
 	Timeout time.Duration
+	// Tracer, when non-nil, streams structured search events (solve
+	// start/end, restarts, reductions, per-conflict-window rollups) to
+	// the given sink. Nil is zero-cost: the search runs bit-identically.
+	Tracer Tracer
 }
 
 // Solve decides the formula under a fixed deletion policy.
@@ -123,6 +136,7 @@ func SolveContext(ctx context.Context, f *Formula, cfg SolveConfig) (Result, err
 		return Result{}, err
 	}
 	opts := dataset.SolveOptions(pol, cfg.MaxConflicts)
+	opts.Tracer = cfg.Tracer
 	if cfg.Timeout > 0 {
 		opts.Deadline = time.Now().Add(cfg.Timeout)
 	}

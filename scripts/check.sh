@@ -1,9 +1,9 @@
 #!/bin/sh
 # Tier-1 gate: build, vet, full test suite, the race detector on the
 # concurrency-bearing packages (portfolio racing, the sweep engine, the
-# experiments runner, solver cancellation), and a coverage gate on the
-# experiments package. Run from the repo root via `make check` or
-# `./scripts/check.sh`.
+# experiments runner, solver cancellation, registry scrapes), a live
+# metrics-endpoint smoke test, and a coverage gate on the experiments
+# package. Run from the repo root via `make check` or `./scripts/check.sh`.
 set -eu
 
 # Statement-coverage floor for neuroselect/internal/experiments. The
@@ -11,6 +11,22 @@ set -eu
 # fault-injection, and sharding paths pushed it past 90%, and this gate
 # keeps future changes from silently shedding that coverage.
 EXPERIMENTS_COVER_FLOOR=85.0
+
+COVER_PROFILE=""
+SMOKE_DIR=""
+SMOKE_PID=""
+cleanup() {
+	if [ -n "$SMOKE_PID" ]; then
+		kill "$SMOKE_PID" 2>/dev/null || true
+	fi
+	if [ -n "$SMOKE_DIR" ]; then
+		rm -rf "$SMOKE_DIR"
+	fi
+	if [ -n "$COVER_PROFILE" ]; then
+		rm -f "$COVER_PROFILE"
+	fi
+}
+trap cleanup EXIT
 
 echo "== go build ./..."
 go build ./...
@@ -24,14 +40,64 @@ go test ./...
 echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/experiments ./internal/portfolio \
 	./internal/sweep ./internal/metrics ./internal/dataset \
-	./internal/solver ./internal/faultpoint
+	./internal/solver ./internal/faultpoint ./internal/obs
 
 echo "== benchmark smoke (1 iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x ./internal/solver ./internal/drat > /dev/null
 
+echo "== metrics endpoint smoke (satsolve -metrics-addr)"
+SMOKE_DIR="$(mktemp -d)"
+go build -o "$SMOKE_DIR/satsolve" ./cmd/satsolve
+go run ./cmd/satgen -family pigeonhole -n 9 > "$SMOKE_DIR/php9.cnf"
+# A hard pigeonhole instance keeps the solver generating conflicts while we
+# scrape; the timeout is a backstop — the smoke kills the solve once the
+# counters have been observed moving.
+"$SMOKE_DIR/satsolve" -metrics-addr 127.0.0.1:0 -model=false -timeout 120s \
+	"$SMOKE_DIR/php9.cnf" > "$SMOKE_DIR/out.txt" &
+SMOKE_PID=$!
+
+addr=""
+i=0
+while [ -z "$addr" ] && [ "$i" -lt 100 ]; do
+	addr="$(sed -n 's/^c metrics listening on //p' "$SMOKE_DIR/out.txt" 2>/dev/null)"
+	if [ -z "$addr" ]; then
+		sleep 0.1
+	fi
+	i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+	echo "metrics smoke: FAIL — satsolve never announced its listen address"
+	exit 1
+fi
+
+curl -fsS "http://$addr/healthz" | grep -qx ok || {
+	echo "metrics smoke: FAIL — /healthz did not answer ok"
+	exit 1
+}
+
+ok=0
+i=0
+while [ "$i" -lt 100 ]; do
+	if curl -fsS "http://$addr/metrics" 2>/dev/null | awk '
+		$1 == "neuroselect_solver_conflicts_total" && $2 + 0 > 0 { found = 1 }
+		END { exit(found ? 0 : 1) }'; then
+		ok=1
+		break
+	fi
+	sleep 0.1
+	i=$((i + 1))
+done
+if [ "$ok" != 1 ]; then
+	echo "metrics smoke: FAIL — /metrics conflicts counter never became nonzero"
+	exit 1
+fi
+kill "$SMOKE_PID" 2>/dev/null || true
+wait "$SMOKE_PID" 2>/dev/null || true
+SMOKE_PID=""
+echo "metrics smoke: /healthz ok, solver counters live at http://$addr/metrics"
+
 echo "== coverage (experiments + sweep engine)"
 COVER_PROFILE="$(mktemp)"
-trap 'rm -f "$COVER_PROFILE"' EXIT
 go test -count=1 -covermode=atomic -coverprofile="$COVER_PROFILE" \
 	./internal/experiments ./internal/sweep ./internal/metrics
 
