@@ -1,0 +1,133 @@
+// Command neuroselect-serve runs the solver as an HTTP service.
+//
+// Usage:
+//
+//	neuroselect-serve [-addr :8080] [-workers N] [-queue N] [-max-timeout D]
+//	                  [-cache-size N] [-max-body BYTES] [-model model.json]
+//	                  [-metrics-addr HOST:PORT] [-drain-timeout D]
+//
+// Endpoints (full contract in API.md):
+//
+//	POST /v1/solve      DIMACS CNF body (raw or gzip) → solve result JSON
+//	POST /v1/jobs       same body → async job id
+//	GET  /v1/jobs/{id}  poll an async job
+//	GET  /healthz       liveness (503 while draining)
+//
+// -model loads a trained selector (see `neuroselect train`) so every
+// request gets the paper's one-time policy inference; without it all
+// requests solve under the default policy (or a ?policy= override).
+//
+// SIGINT/SIGTERM starts a graceful drain: new submissions get 503,
+// queued and in-flight jobs finish, then the listener closes. A second
+// signal aborts immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"neuroselect"
+	"neuroselect/internal/obs"
+	"neuroselect/internal/portfolio"
+	"neuroselect/internal/server"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	addr := flag.String("addr", ":8080", "HTTP listen address for the solving API (:0 picks a port, printed on startup)")
+	workers := flag.Int("workers", 0, "solver worker pool size (0 = all CPUs)")
+	queue := flag.Int("queue", 64, "admission-queue depth; a full queue sheds requests with 429")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "ceiling for the per-request ?timeout= and the default when absent")
+	cacheSize := flag.Int("cache-size", 256, "result-cache capacity in entries (negative disables caching)")
+	maxBody := flag.Int64("max-body", 64<<20, "maximum request body size in bytes (decompressed)")
+	modelPath := flag.String("model", "", "trained selector model file; empty serves with the default policy only")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long a graceful shutdown waits for queued and in-flight jobs")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg, time.Now())
+	if *metricsAddr != "" {
+		msrv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			return fail(err)
+		}
+		defer msrv.Close()
+		fmt.Printf("metrics listening on %s\n", msrv.Addr())
+	}
+
+	var sel *portfolio.Selector
+	if *modelPath != "" {
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			return fail(err)
+		}
+		model, err := neuroselect.LoadModel(mf)
+		mf.Close()
+		if err != nil {
+			return fail(err)
+		}
+		sel = portfolio.NewSelector(model)
+		sel.Obs = reg
+		fmt.Printf("selector model loaded from %s\n", *modelPath)
+	}
+
+	svc := server.New(server.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		MaxTimeout:   *maxTimeout,
+		CacheSize:    *cacheSize,
+		MaxBodyBytes: *maxBody,
+		Selector:     sel,
+		Registry:     reg,
+	})
+
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("solving API listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return fail(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process via the default handler
+	fmt.Println("draining: refusing new work, finishing queued and in-flight jobs")
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "neuroselect-serve: drain:", err)
+		svc.Close()
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "neuroselect-serve: shutdown:", err)
+	}
+	fmt.Println("drained; bye")
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "neuroselect-serve:", err)
+	return 1
+}

@@ -39,7 +39,8 @@ const (
 
 // Event is one trace record. The struct is the JSONL schema: field tags are
 // stable, additions are append-only, and consumers must tolerate unknown
-// fields. TimeNS is nanoseconds since the enclosing solve started.
+// fields (the external contract is documented in API.md §2). TimeNS is
+// nanoseconds since the enclosing solve started.
 type Event struct {
 	Type   string `json:"type"`
 	TimeNS int64  `json:"t_ns"`

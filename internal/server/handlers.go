@@ -1,0 +1,312 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/deletion"
+)
+
+// Handler returns the service mux:
+//
+//	POST /v1/solve      synchronous solve (blocks until the result)
+//	POST /v1/jobs       asynchronous solve (returns a job id)
+//	GET  /v1/jobs/{id}  poll an async job
+//	GET  /healthz       liveness (503 while draining)
+//
+// Mount it on an http.Server; metrics exposition lives on the registry's
+// own listener (obs.Serve), keeping the data plane and the telemetry
+// plane on separate ports.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.instrument("solve", s.handleSolve))
+	mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("poll", s.handlePoll))
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+// statusRecorder captures the response code for the request counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint latency histogram and
+// request counter.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.m.reqSec(endpoint).Observe(time.Since(start).Seconds())
+		s.m.requests(endpoint, strconv.Itoa(rec.code)).Inc()
+	}
+}
+
+// httpError is a handler-layer failure carrying its status code.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{code: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// writeError emits the uniform JSON error body.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: msg})
+}
+
+// writeJSON emits a marshaled 200 response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// parseJob builds a job from one upload: body decode (raw or gzip, size-
+// capped), DIMACS parse, and query parameters (?timeout=, ?policy=,
+// ?trace=). It does not admit the job — admission is the caller's move so
+// the cache can short-circuit first.
+func (s *Server) parseJob(w http.ResponseWriter, r *http.Request) (*job, *httpError) {
+	body, herr := s.readBody(w, r)
+	if herr != nil {
+		return nil, herr
+	}
+	f, err := cnf.ParseDIMACS(bytes.NewReader(body))
+	if err != nil {
+		return nil, badRequest("parse DIMACS: %v", err)
+	}
+	if len(f.Clauses) == 0 && f.NumVars == 0 {
+		return nil, badRequest("empty formula: body contained no DIMACS clauses")
+	}
+	j := newJob(f)
+
+	q := r.URL.Query()
+	j.timeout = s.cfg.MaxTimeout
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return nil, badRequest("bad timeout %q: want a positive Go duration like 5s or 500ms", v)
+		}
+		if d < j.timeout {
+			j.timeout = d
+		}
+	}
+	switch v := q.Get("policy"); v {
+	case "", "auto":
+		// The selector (or the default policy) decides.
+	default:
+		pol, err := deletion.ByName(v)
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		j.policy = pol
+	}
+	switch v := q.Get("trace"); v {
+	case "", "0", "false":
+	case "1", "true":
+		j.trace = true
+	default:
+		return nil, badRequest("bad trace %q: want 1 or 0", v)
+	}
+	// Trace payloads are per-request, so traced solves bypass the cache
+	// entirely: no lookup, no fill. The key carries the policy variant:
+	// a request that pins ?policy= must not be served a result computed
+	// under a different policy (the stats and policy fields would lie).
+	if s.cfg.CacheSize > 0 && !j.trace {
+		variant := "auto"
+		if j.policy != nil {
+			variant = j.policy.Name()
+		}
+		j.key = variant + ":" + CanonicalHash(f)
+	}
+	return j, nil
+}
+
+// readBody returns the decompressed upload, enforcing Config.MaxBodyBytes
+// on both the wire bytes and the decompressed size (a gzip bomb cannot
+// expand past the cap).
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *httpError) {
+	max := s.cfg.MaxBodyBytes
+	var src io.Reader = http.MaxBytesReader(w, r.Body, max)
+	switch enc := strings.ToLower(r.Header.Get("Content-Encoding")); enc {
+	case "", "identity":
+	case "gzip":
+		gz, err := gzip.NewReader(src)
+		if err != nil {
+			return nil, badRequest("bad gzip body: %v", err)
+		}
+		defer gz.Close()
+		src = io.LimitReader(gz, max+1)
+	default:
+		return nil, &httpError{code: http.StatusUnsupportedMediaType,
+			msg: fmt.Sprintf("unsupported Content-Encoding %q: want gzip or identity", enc)}
+	}
+	body, err := io.ReadAll(src)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return nil, &httpError{code: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("body exceeds %d bytes", max)}
+		}
+		return nil, badRequest("read body: %v", err)
+	}
+	if int64(len(body)) > max {
+		return nil, &httpError{code: http.StatusRequestEntityTooLarge,
+			msg: fmt.Sprintf("decompressed body exceeds %d bytes", max)}
+	}
+	return body, nil
+}
+
+// refuseIfDraining sheds new work during graceful shutdown.
+func (s *Server) refuseIfDraining(w http.ResponseWriter) bool {
+	if !s.Draining() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "server is draining")
+	return true
+}
+
+// handleSolve is POST /v1/solve: parse, consult the cache, admit onto the
+// worker pool, block for the result. The X-Cache header says whether the
+// body came from the cache ("hit") or a fresh solve ("miss"); traced
+// requests report "bypass".
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if s.refuseIfDraining(w) {
+		return
+	}
+	j, herr := s.parseJob(w, r)
+	if herr != nil {
+		writeError(w, herr.code, herr.msg)
+		return
+	}
+	if j.key != "" {
+		if e, ok := s.cache.Get(j.key); ok {
+			s.m.cacheEv("hit").Inc()
+			s.m.solves(e.policy, "cached").Inc()
+			w.Header().Set("X-Cache", "hit")
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write(e.body)
+			return
+		}
+		s.m.cacheEv("miss").Inc()
+	}
+	j.ctx = r.Context()
+	if !s.enqueue(j) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("queue full (depth %d): retry later", cap(s.queue)))
+		return
+	}
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// Client gone; the worker sees the canceled context and discards
+		// the job. Nothing useful can be written.
+		return
+	}
+	_, body, errCode, errMsg := j.snapshot()
+	if errCode != 0 {
+		writeError(w, errCode, errMsg)
+		return
+	}
+	if j.trace {
+		w.Header().Set("X-Cache", "bypass")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// handleSubmit is POST /v1/jobs: parse, consult the cache, admit, return
+// a job id immediately. A cache hit completes the job before the response
+// is written, so the first poll already carries the result.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.refuseIfDraining(w) {
+		return
+	}
+	j, herr := s.parseJob(w, r)
+	if herr != nil {
+		writeError(w, herr.code, herr.msg)
+		return
+	}
+	if j.key != "" {
+		if e, ok := s.cache.Get(j.key); ok {
+			s.m.cacheEv("hit").Inc()
+			s.m.solves(e.policy, "cached").Inc()
+			j.cached = true
+			id := s.jobs.Add(j)
+			j.completeFromCache(e.body)
+			s.jobs.NoteDone(j)
+			writeJSON(w, http.StatusOK, jobView{ID: id, Status: JobDone, Cached: true, Result: e.body})
+			return
+		}
+		s.m.cacheEv("miss").Inc()
+	}
+	// Async solves outlive the submit request: they run under the server's
+	// base context (canceled only by Close), bounded by the job timeout.
+	j.ctx = s.baseCtx
+	id := s.jobs.Add(j)
+	if !s.enqueue(j) {
+		s.jobs.Remove(id)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("queue full (depth %d): retry later", cap(s.queue)))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobView{ID: id, Status: JobQueued})
+}
+
+// handlePoll is GET /v1/jobs/{id}.
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	state, body, errCode, errMsg := j.snapshot()
+	view := jobView{ID: j.id, Status: state, Cached: j.cached}
+	if state == JobDone {
+		if errCode != 0 {
+			view.Error = fmt.Sprintf("%d: %s", errCode, errMsg)
+		} else {
+			view.Result = body
+		}
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleHealth is GET /healthz: 200 "ok" while serving, 503 "draining"
+// during graceful shutdown so load balancers stop routing here.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/deletion"
+	"neuroselect/internal/obs"
+	"neuroselect/internal/solver"
+)
+
+// Job lifecycle states as reported by GET /v1/jobs/{id}.
+const (
+	// JobQueued: admitted, waiting for a worker.
+	JobQueued = "queued"
+	// JobRunning: a worker is solving it.
+	JobRunning = "running"
+	// JobDone: finished; the result (or error) is attached.
+	JobDone = "done"
+)
+
+// job is one admitted solve: the parsed formula, its request parameters,
+// and the completion slot the handler (sync) or the poll endpoint (async)
+// reads. A job flows queue → worker → done exactly once.
+type job struct {
+	id  string // async only; "" for sync solves
+	f   *cnf.Formula
+	key string // cache key; "" when caching is bypassed
+
+	timeout time.Duration
+	policy  deletion.Policy // non-nil pins the policy (bypasses the selector)
+	trace   bool
+	cached  bool // completed from the result cache without solving
+
+	ctx      context.Context // request ctx (sync) or server base ctx (async)
+	enqueued time.Time
+
+	mu      sync.Mutex
+	state   string
+	done    chan struct{}
+	body    []byte // marshaled solveResponse on success
+	errCode int    // non-zero on failure
+	errMsg  string
+}
+
+func newJob(f *cnf.Formula) *job {
+	return &job{f: f, state: JobQueued, done: make(chan struct{}), enqueued: time.Now()}
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.mu.Unlock()
+}
+
+// succeed attaches the marshaled response body. finish() publishes it.
+func (j *job) succeed(body []byte) {
+	j.mu.Lock()
+	j.body = body
+	j.mu.Unlock()
+}
+
+// fail attaches an error outcome. finish() publishes it.
+func (j *job) fail(code int, msg string) {
+	j.mu.Lock()
+	j.errCode, j.errMsg = code, msg
+	j.mu.Unlock()
+}
+
+// finish marks the job done and wakes every waiter. A job that reaches
+// the worker without an explicit outcome (impossible today) fails closed.
+func (j *job) finish() {
+	j.mu.Lock()
+	if j.body == nil && j.errCode == 0 {
+		j.errCode, j.errMsg = 500, "job finished without a result"
+	}
+	j.state = JobDone
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// completeFromCache marks a freshly created job done with a cached body,
+// never visiting the queue.
+func (j *job) completeFromCache(body []byte) {
+	j.body = body
+	j.state = JobDone
+	close(j.done)
+}
+
+// snapshot returns the job's current state and outcome for rendering.
+func (j *job) snapshot() (state string, body []byte, errCode int, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.body, j.errCode, j.errMsg
+}
+
+// solveResponse is the JSON body of a completed solve. Field names are
+// the API contract (API.md); additions must be append-only.
+type solveResponse struct {
+	Status  string       `json:"status"`          // "SAT" | "UNSAT" | "UNKNOWN"
+	Model   []int        `json:"model,omitempty"` // DIMACS literals, SAT only
+	Stop    string       `json:"stop,omitempty"`  // UNKNOWN only: why the search stopped
+	Policy  policyInfo   `json:"policy"`
+	Stats   solver.Stats `json:"stats"`
+	Timings timings      `json:"timings"`
+	Cached  bool         `json:"cached"`
+	Trace   []obs.Event  `json:"trace,omitempty"` // ?trace=1 only
+}
+
+// policyInfo mirrors portfolio.Choice for the wire.
+type policyInfo struct {
+	Name        string  `json:"name"`
+	Prob        float64 `json:"prob"`               // model probability; -1 when inference was skipped
+	Fallback    string  `json:"fallback,omitempty"` // why inference was skipped ("requested", "no-model", portfolio.Fallback*)
+	InferenceNS int64   `json:"inference_ns,omitempty"`
+}
+
+// timings breaks a request's latency into its stages, all nanoseconds.
+type timings struct {
+	QueueNS int64 `json:"queue_ns"` // admission-queue wait
+	SolveNS int64 `json:"solve_ns"` // search wall clock
+	TotalNS int64 `json:"total_ns"` // enqueue → response marshaled
+}
+
+// jobView is the JSON body of GET /v1/jobs/{id} and POST /v1/jobs.
+type jobView struct {
+	ID     string          `json:"id"`
+	Status string          `json:"status"` // queued | running | done
+	Cached bool            `json:"cached,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"` // a solveResponse once done
+}
+
+// errorResponse is the JSON body of every non-2xx answer.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// marshalBody encodes a solveResponse once; the same bytes serve the
+// response, the cache entry, and later cache hits, so a hit is
+// byte-identical to the miss that filled it.
+func marshalBody(resp *solveResponse) ([]byte, error) {
+	return json.Marshal(resp)
+}
+
+// jobStore tracks async jobs by id and bounds memory by forgetting the
+// oldest finished jobs beyond its history cap. Queued or running jobs are
+// never evicted — a client can always poll work it was promised.
+type jobStore struct {
+	mu      sync.Mutex
+	nextID  uint64
+	byID    map[string]*job
+	history int
+	doneLst *list.List // job ids in completion-registration order
+}
+
+func newJobStore(history int) *jobStore {
+	return &jobStore{byID: make(map[string]*job), history: history, doneLst: list.New()}
+}
+
+// Add registers a job and assigns its id.
+func (st *jobStore) Add(j *job) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.nextID++
+	j.id = fmt.Sprintf("j%08d", st.nextID)
+	st.byID[j.id] = j
+	return j.id
+}
+
+// Get looks a job up by id.
+func (st *jobStore) Get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.byID[id]
+	return j, ok
+}
+
+// Remove forgets a job that was registered but never admitted (queue
+// shed on the async path).
+func (st *jobStore) Remove(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.byID, id)
+}
+
+// NoteDone records a completed job for history eviction and drops the
+// oldest finished jobs beyond the cap.
+func (st *jobStore) NoteDone(j *job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.doneLst.PushBack(j.id)
+	for st.doneLst.Len() > st.history {
+		front := st.doneLst.Front()
+		st.doneLst.Remove(front)
+		delete(st.byID, front.Value.(string))
+	}
+}

@@ -1,0 +1,443 @@
+// Package server turns the solver into a network service: an HTTP JSON API
+// that accepts DIMACS CNF uploads, routes them through the portfolio
+// selector onto a bounded solver worker pool, and answers with the solve
+// outcome, the chosen policy, and timings.
+//
+// The request path is built from the pieces the repo already has:
+// solves run under solver.SolveContext (deadline-aware, panic-contained),
+// policy selection is portfolio.Selector.Choose (model-driven with
+// degrade-to-default fallbacks), the worker pool follows the
+// internal/sweep feeder pattern (bounded jobs channel, per-job panic
+// containment, drain-on-shutdown with no goroutine leaks), and every
+// stage reports into an obs.Registry.
+//
+// Service properties:
+//
+//   - Admission control: a fixed-depth queue in front of the pool; an
+//     enqueue that would block is shed immediately with 429 and a
+//     Retry-After hint, so latency stays bounded under overload.
+//   - Result cache: an LRU keyed by CanonicalHash short-circuits repeated
+//     instances — the one-time solving (and inference) cost is amortized
+//     across identical uploads, the NeuroBack-style amortization argument
+//     applied to whole results.
+//   - Deadlines: every request runs under a per-request timeout
+//     (?timeout=, clamped by Config.MaxTimeout) and returns UNKNOWN with
+//     a stop reason rather than holding a worker.
+//   - Async jobs: POST /v1/jobs enqueues and returns a job id to poll, so
+//     clients are not held open for long solves; SIGTERM-style shutdown
+//     drains queued and in-flight jobs before the listener closes.
+//
+// The HTTP contract (endpoints, schemas, error codes, metric names) is
+// documented in API.md at the repo root.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/dataset"
+	"neuroselect/internal/deletion"
+	"neuroselect/internal/obs"
+	"neuroselect/internal/portfolio"
+	"neuroselect/internal/solver"
+)
+
+// Config sizes a Server. The zero value is usable: NumCPU workers, a
+// 64-deep queue, a 30s timeout ceiling, a 256-entry cache.
+type Config struct {
+	// Workers bounds the solver pool (<=0 → runtime.NumCPU()).
+	Workers int
+	// QueueDepth caps the admission queue; a full queue sheds new
+	// requests with 429 (<=0 → 64).
+	QueueDepth int
+	// MaxTimeout clamps the per-request ?timeout= and is the default when
+	// the client sends none (<=0 → 30s). Every solve runs under some
+	// deadline: a worker is never held indefinitely.
+	MaxTimeout time.Duration
+	// MaxConflicts optionally bounds each solve's conflict count on top
+	// of the deadline (0 = unlimited).
+	MaxConflicts int64
+	// CacheSize is the result-cache capacity in entries (0 → 256;
+	// negative disables caching).
+	CacheSize int
+	// MaxBodyBytes caps the decompressed request body (<=0 → 64 MiB).
+	MaxBodyBytes int64
+	// JobHistory caps retained completed async jobs; the oldest finished
+	// job is forgotten first (<=0 → 1024).
+	JobHistory int
+	// Selector, when non-nil, picks the deletion policy per instance via
+	// the NeuroSelect model (requests may still pin one with ?policy=).
+	// Nil servers solve everything under the default policy.
+	Selector *portfolio.Selector
+	// Registry receives the service metrics (neuroselect_server_*); nil
+	// uses a private registry so instrumentation is unconditional.
+	Registry *obs.Registry
+}
+
+// Server is a running solving service: worker pool, admission queue,
+// result cache, async job store. Create with New, mount Handler on an
+// http.Server, and stop with Drain (graceful) or Close (abort).
+type Server struct {
+	cfg   Config
+	queue chan *job
+	cache *resultCache
+	jobs  *jobStore
+
+	baseCtx context.Context // parent of every async solve; canceled by Close
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup // worker goroutines
+	pending sync.WaitGroup // jobs accepted but not yet finished
+
+	admitMu  sync.RWMutex // excludes enqueue sends from the queue close
+	draining atomic.Bool
+	closed   atomic.Bool
+
+	m serverMetrics
+}
+
+// serverMetrics is the service's obs instrumentation. All series live
+// under the neuroselect_server_* namespace documented in API.md.
+type serverMetrics struct {
+	reg       *obs.Registry
+	reqSec    func(endpoint string) *obs.Histogram
+	requests  func(endpoint, code string) *obs.Counter
+	queueWait *obs.Histogram
+	shed      *obs.Counter
+	cacheEv   func(event string) *obs.Counter
+	solves    func(policy, status string) *obs.Counter
+	inflight  *obs.Gauge
+}
+
+func newServerMetrics(reg *obs.Registry, s *Server) serverMetrics {
+	m := serverMetrics{reg: reg}
+	m.reqSec = func(endpoint string) *obs.Histogram {
+		return reg.Histogram("neuroselect_server_request_seconds",
+			"HTTP request latency by endpoint.", nil, obs.Labels{"endpoint": endpoint})
+	}
+	m.requests = func(endpoint, code string) *obs.Counter {
+		return reg.Counter("neuroselect_server_requests_total",
+			"HTTP requests by endpoint and status code.", obs.Labels{"endpoint": endpoint, "code": code})
+	}
+	m.queueWait = reg.Histogram("neuroselect_server_queue_wait_seconds",
+		"Time an accepted job spent in the admission queue before a worker picked it up.", nil, nil)
+	m.shed = reg.Counter("neuroselect_server_shed_total",
+		"Requests rejected with 429 because the admission queue was full.", nil)
+	m.cacheEv = func(event string) *obs.Counter {
+		return reg.Counter("neuroselect_server_cache_events_total",
+			"Result-cache activity by event (hit, miss, evict).", obs.Labels{"event": event})
+	}
+	m.solves = func(policy, status string) *obs.Counter {
+		return reg.Counter("neuroselect_server_solves_total",
+			"Completed solves by deletion policy and outcome.", obs.Labels{"policy": policy, "status": status})
+	}
+	m.inflight = reg.Gauge("neuroselect_server_inflight_solves",
+		"Jobs currently being solved by a worker.", nil)
+	reg.GaugeFunc("neuroselect_server_queue_depth",
+		"Jobs waiting in the admission queue.", nil,
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("neuroselect_server_queue_capacity",
+		"Admission-queue capacity (the 429 shedding threshold).", nil,
+		func() float64 { return float64(cap(s.queue)) })
+	return m
+}
+
+// New builds the service and starts its worker pool. Callers own the HTTP
+// listener; see Handler.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 30 * time.Second
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 256
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.JobHistory <= 0 {
+		cfg.JobHistory = 1024
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *job, cfg.QueueDepth),
+		cache:   newResultCache(cfg.CacheSize),
+		jobs:    newJobStore(cfg.JobHistory),
+		baseCtx: ctx,
+		cancel:  cancel,
+	}
+	s.m = newServerMetrics(cfg.Registry, s)
+	for w := 0; w < cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry returns the registry carrying the service metrics (the one
+// from Config, or the private one a nil Config.Registry was replaced by).
+func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
+
+// enqueue admits a job or sheds it. It never blocks: admission control is
+// the point — a queue that would block means the service is saturated and
+// the client should retry later. The read lock excludes the send from the
+// queue close in stopWorkers; a request racing a shutdown is shed, never
+// panicked on.
+func (s *Server) enqueue(j *job) bool {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.closed.Load() {
+		return false
+	}
+	s.pending.Add(1)
+	select {
+	case s.queue <- j:
+		return true
+	default:
+		s.pending.Done()
+		s.m.shed.Inc()
+		return false
+	}
+}
+
+// worker drains the admission queue until the queue closes (Drain) or the
+// base context aborts (Close). Each job runs with panic containment —
+// sweep's per-cell isolation applied to requests — so one poisoned
+// instance cannot take the pool down.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+		if j.id != "" {
+			s.jobs.NoteDone(j)
+		}
+		s.pending.Done()
+	}
+}
+
+// runJob executes one admitted job end to end: policy selection, the
+// deadline-bounded solve, response marshaling, cache fill, metrics.
+func (s *Server) runJob(j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Should be unreachable — solver.SolveContext contains its own
+			// panics — but a worker must survive anything a job throws.
+			j.fail(500, fmt.Sprintf("internal error: %v", r))
+		}
+		j.finish()
+	}()
+	s.m.inflight.Add(1)
+	defer s.m.inflight.Add(-1)
+
+	wait := time.Since(j.enqueued)
+	s.m.queueWait.Observe(wait.Seconds())
+	j.setRunning()
+
+	ctx := j.ctx
+	if err := ctx.Err(); err != nil {
+		// The client vanished while the job sat in the queue.
+		j.fail(499, "client canceled before solve started")
+		return
+	}
+	ctx, cancelTimeout := context.WithTimeout(ctx, j.timeout)
+	defer cancelTimeout()
+
+	var tracer obs.Tracer
+	var mem *memTracer
+	if j.trace {
+		mem = &memTracer{}
+		tracer = mem
+	}
+
+	pol, polInfo := s.selectPolicy(j, mem)
+	opts := dataset.SolveOptions(pol, s.cfg.MaxConflicts)
+	opts.Tracer = tracer
+
+	solveStart := time.Now()
+	res, err := solver.SolveContext(ctx, j.f, opts)
+	solveNS := time.Since(solveStart).Nanoseconds()
+	if err != nil && res.Status != solver.Unknown {
+		// Non-panic internal failure (e.g. model verification); panics and
+		// deadline exhaustion arrive as error-carrying Unknown results.
+		j.fail(500, "solve failed: "+err.Error())
+		return
+	}
+
+	resp := &solveResponse{
+		Status: res.Status.String(),
+		Policy: polInfo,
+		Stats:  res.Stats,
+		Timings: timings{
+			QueueNS: wait.Nanoseconds(),
+			SolveNS: solveNS,
+			TotalNS: time.Since(j.enqueued).Nanoseconds(),
+		},
+	}
+	if res.Status == solver.Sat {
+		resp.Model = modelLits(j.f, res.Model)
+	}
+	if res.Stop != nil {
+		resp.Stop = stopReason(res.Stop)
+	}
+	if mem != nil {
+		resp.Trace = mem.events
+	}
+	s.m.solves(polInfo.Name, resp.Status).Inc()
+
+	body, merr := marshalBody(resp)
+	if merr != nil {
+		j.fail(500, "encode response: "+merr.Error())
+		return
+	}
+	// Cache only decided, untraced results: UNKNOWN depends on the
+	// request's own deadline, and trace payloads are per-request.
+	if j.key != "" && !j.trace && (res.Status == solver.Sat || res.Status == solver.Unsat) {
+		if ev := s.cache.Put(j.key, body, polInfo.Name); ev > 0 {
+			s.m.cacheEv("evict").Add(int64(ev))
+		}
+	}
+	j.succeed(body)
+}
+
+// selectPolicy resolves the deletion policy for one job: a client-pinned
+// ?policy= wins, then the model-driven selector, then the default policy.
+// When the job captures a trace, the selection is recorded as an
+// EventPolicy exactly as portfolio's own tracer would emit it.
+func (s *Server) selectPolicy(j *job, mem *memTracer) (deletion.Policy, policyInfo) {
+	var pol deletion.Policy
+	var info policyInfo
+	switch {
+	case j.policy != nil:
+		pol = j.policy
+		info = policyInfo{Name: pol.Name(), Prob: -1, Fallback: "requested"}
+	case s.cfg.Selector != nil:
+		ch := s.cfg.Selector.Choose(j.f)
+		pol = ch.Policy
+		info = policyInfo{
+			Name:        pol.Name(),
+			Prob:        ch.Prob,
+			Fallback:    ch.Fallback,
+			InferenceNS: ch.Inference.Nanoseconds(),
+		}
+	default:
+		pol = deletion.DefaultPolicy{}
+		info = policyInfo{Name: pol.Name(), Prob: -1, Fallback: "no-model"}
+	}
+	if mem != nil {
+		mem.Trace(&obs.Event{
+			Type:        obs.EventPolicy,
+			Policy:      info.Name,
+			Prob:        info.Prob,
+			Fallback:    info.Fallback,
+			InferenceNS: info.InferenceNS,
+		})
+	}
+	return pol, info
+}
+
+// Draining reports whether the server has stopped admitting work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the service down: new submissions are refused
+// with 503 immediately, queued and in-flight jobs run to completion, and
+// Drain returns when the pool is idle or ctx expires (in-flight solves
+// still run under their own deadlines either way). Call before shutting
+// the HTTP listener so sync waiters get their responses.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.pending.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.stopWorkers()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close aborts the service: the base context cancels (async solves return
+// UNKNOWN/canceled promptly) and the workers exit once the queue empties.
+// Safe after Drain.
+func (s *Server) Close() {
+	s.cancel()
+	s.stopWorkers()
+}
+
+// stopWorkers closes the queue exactly once and joins the pool.
+func (s *Server) stopWorkers() {
+	s.draining.Store(true)
+	s.admitMu.Lock()
+	if s.closed.CompareAndSwap(false, true) {
+		close(s.queue)
+	}
+	s.admitMu.Unlock()
+	s.wg.Wait()
+}
+
+// memTracer buffers the events of one solve for the ?trace=1 response
+// payload. A job is driven by one worker goroutine, but the mutex keeps
+// the type safe if an emitter ever moves off it.
+type memTracer struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (t *memTracer) Trace(ev *obs.Event) {
+	t.mu.Lock()
+	t.events = append(t.events, *ev)
+	t.mu.Unlock()
+}
+
+// modelLits renders a satisfying assignment as DIMACS-style literals,
+// mirroring satsolve's v-line.
+func modelLits(f *cnf.Formula, m cnf.Assignment) []int {
+	lits := make([]int, 0, f.NumVars)
+	for v := 1; v <= f.NumVars; v++ {
+		if m[v] {
+			lits = append(lits, v)
+		} else {
+			lits = append(lits, -v)
+		}
+	}
+	return lits
+}
+
+// stopReason maps an Unknown result's stop cause to the stable string
+// vocabulary of the API (see API.md): timeout, canceled,
+// conflict-budget, propagation-budget, panic.
+func stopReason(stop error) string {
+	switch {
+	case stop == nil:
+		return ""
+	case errors.Is(stop, solver.ErrDeadline):
+		return "timeout"
+	case errors.Is(stop, solver.ErrCanceled):
+		return "canceled"
+	case errors.Is(stop, solver.ErrConflictBudget):
+		return "conflict-budget"
+	case errors.Is(stop, solver.ErrPropagationBudget):
+		return "propagation-budget"
+	case errors.Is(stop, solver.ErrSolvePanic):
+		return "panic"
+	default:
+		return stop.Error()
+	}
+}

@@ -13,6 +13,30 @@
 //
 //	model, _ := neuroselect.TrainSelector(neuroselect.TrainerConfig{})
 //	res, _ := neuroselect.SolveAdaptive(f, model, neuroselect.SolveConfig{})
+//
+// # Where to go next
+//
+// This package re-exports the small surface most callers need; the
+// machinery lives in focused internal packages:
+//
+//   - internal/solver is the CDCL engine (arena-backed clause storage,
+//     deadline-aware SolveContext, panic containment). Solve, SolveContext
+//     and SolveAssuming here wrap it.
+//   - internal/portfolio is the paper's NeuroSelect-Kissat flow: one model
+//     inference selects the deletion policy, with degrade-to-default
+//     fallbacks. SolveAdaptive wraps it.
+//   - internal/server turns the solver into an HTTP service — admission
+//     control, a canonical-hash result cache, async jobs, graceful drain —
+//     run via cmd/neuroselect-serve. The wire contract is API.md.
+//   - internal/obs is the observability layer behind SolveConfig.Tracer
+//     and every -metrics-addr flag: the JSONL trace schema and the
+//     Prometheus registry, both documented in API.md.
+//   - internal/experiments regenerates the paper's tables and figures
+//     (cmd/experiments); internal/dataset, internal/core, internal/nn and
+//     internal/baselines are its training substrate.
+//
+// DESIGN.md holds the architecture inventory; README.md the command-line
+// tools and flags.
 package neuroselect
 
 import (

@@ -1,9 +1,12 @@
 #!/bin/sh
 # Tier-1 gate: build, vet, full test suite, the race detector on the
 # concurrency-bearing packages (portfolio racing, the sweep engine, the
-# experiments runner, solver cancellation, registry scrapes), a live
-# metrics-endpoint smoke test, and a coverage gate on the experiments
-# package. Run from the repo root via `make check` or `./scripts/check.sh`.
+# experiments runner, solver cancellation, registry scrapes, the HTTP
+# server), a live metrics-endpoint smoke test, an end-to-end smoke of the
+# solving service (cache hit, queue shedding, SIGTERM drain), two
+# documentation gates (package comments, README flag freshness), and a
+# coverage gate on the experiments package. Run from the repo root via
+# `make check` or `./scripts/check.sh`.
 set -eu
 
 # Statement-coverage floor for neuroselect/internal/experiments. The
@@ -15,9 +18,13 @@ EXPERIMENTS_COVER_FLOOR=85.0
 COVER_PROFILE=""
 SMOKE_DIR=""
 SMOKE_PID=""
+SERVE_PID=""
 cleanup() {
 	if [ -n "$SMOKE_PID" ]; then
 		kill "$SMOKE_PID" 2>/dev/null || true
+	fi
+	if [ -n "$SERVE_PID" ]; then
+		kill -9 "$SERVE_PID" 2>/dev/null || true
 	fi
 	if [ -n "$SMOKE_DIR" ]; then
 		rm -rf "$SMOKE_DIR"
@@ -40,7 +47,8 @@ go test ./...
 echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/experiments ./internal/portfolio \
 	./internal/sweep ./internal/metrics ./internal/dataset \
-	./internal/solver ./internal/faultpoint ./internal/obs
+	./internal/solver ./internal/faultpoint ./internal/obs \
+	./internal/server
 
 echo "== benchmark smoke (1 iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x ./internal/solver ./internal/drat > /dev/null
@@ -95,6 +103,161 @@ kill "$SMOKE_PID" 2>/dev/null || true
 wait "$SMOKE_PID" 2>/dev/null || true
 SMOKE_PID=""
 echo "metrics smoke: /healthz ok, solver counters live at http://$addr/metrics"
+
+echo "== package-doc gate (every package states its role)"
+fail=0
+for d in . internal/* cmd/*; do
+	ls "$d"/*.go >/dev/null 2>&1 || continue
+	if ! grep -q -E '^// (Package|Command) ' "$d"/*.go; then
+		echo "package-doc gate: FAIL — $d has no package comment"
+		fail=1
+	fi
+done
+if [ "$fail" != 0 ]; then
+	exit 1
+fi
+echo "package-doc gate: all packages documented"
+
+echo "== docs-freshness gate (every cmd/* flag appears in README's flag tables)"
+fail=0
+for f in cmd/*/main.go; do
+	cmdname="$(basename "$(dirname "$f")")"
+	# Top-level flags only: subcommand FlagSets (fs.String) document
+	# themselves via their own -h and are out of the README tables' scope.
+	flags="$(grep -oE 'flag\.(String|Bool|Int64|Int|Duration|Float64)\("[a-z][a-z0-9-]*"' "$f" |
+		cut -d'"' -f2 | sort -u)"
+	for fl in $flags; do
+		if ! grep -q -- "\`-$fl\`" README.md; then
+			echo "docs gate: FAIL — flag -$fl of cmd/$cmdname is not documented in README.md"
+			fail=1
+		fi
+	done
+done
+if [ "$fail" != 0 ]; then
+	exit 1
+fi
+echo "docs gate: every cmd flag documented"
+
+echo "== solving-service smoke (neuroselect-serve end to end)"
+if [ -z "$SMOKE_DIR" ]; then
+	SMOKE_DIR="$(mktemp -d)"
+fi
+go build -o "$SMOKE_DIR/neuroselect-serve" ./cmd/neuroselect-serve
+go run ./cmd/satgen -family pigeonhole -n 7 > "$SMOKE_DIR/php7.cnf"
+go run ./cmd/satgen -family pigeonhole -n 8 > "$SMOKE_DIR/php8.cnf"
+go run ./cmd/satgen -family pigeonhole -n 12 > "$SMOKE_DIR/php12.cnf"
+"$SMOKE_DIR/neuroselect-serve" -addr 127.0.0.1:0 -workers 2 -queue 1 \
+	-metrics-addr 127.0.0.1:0 > "$SMOKE_DIR/serve.txt" 2>&1 &
+SERVE_PID=$!
+
+api=""
+i=0
+while [ -z "$api" ] && [ "$i" -lt 100 ]; do
+	api="$(sed -n 's/^solving API listening on //p' "$SMOKE_DIR/serve.txt" 2>/dev/null)"
+	[ -n "$api" ] || sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$api" ]; then
+	echo "serve smoke: FAIL — server never announced its listen address"
+	exit 1
+fi
+maddr="$(sed -n 's/^metrics listening on //p' "$SMOKE_DIR/serve.txt")"
+
+# Concurrent solves: two clients at once, both must decide php-8 UNSAT.
+curl -fsS --data-binary @"$SMOKE_DIR/php8.cnf" "http://$api/v1/solve" \
+	> "$SMOKE_DIR/r1.json" &
+c1=$!
+curl -fsS --data-binary @"$SMOKE_DIR/php8.cnf" "http://$api/v1/solve?policy=frequency" \
+	> "$SMOKE_DIR/r2.json" &
+c2=$!
+wait "$c1" "$c2"
+grep -q '"status":"UNSAT"' "$SMOKE_DIR/r1.json" || {
+	echo "serve smoke: FAIL — php-8 did not solve UNSAT: $(cat "$SMOKE_DIR/r1.json")"
+	exit 1
+}
+grep -q '"status":"UNSAT"' "$SMOKE_DIR/r2.json" || {
+	echo "serve smoke: FAIL — php-8 under ?policy=frequency did not solve UNSAT"
+	exit 1
+}
+
+# Duplicate upload: identical body served from the cache with X-Cache: hit.
+curl -fsS -D "$SMOKE_DIR/hdr.txt" --data-binary @"$SMOKE_DIR/php8.cnf" \
+	"http://$api/v1/solve" > "$SMOKE_DIR/r3.json"
+grep -qi '^x-cache: hit' "$SMOKE_DIR/hdr.txt" || {
+	echo "serve smoke: FAIL — duplicate instance was not served from the cache"
+	exit 1
+}
+cmp -s "$SMOKE_DIR/r1.json" "$SMOKE_DIR/r3.json" || {
+	echo "serve smoke: FAIL — cache hit body differs from the original response"
+	exit 1
+}
+
+# Queue overflow: flood 2 workers + 1 queue slot with hard jobs until the
+# admission queue sheds a request with 429.
+shed=""
+i=0
+while [ -z "$shed" ] && [ "$i" -lt 8 ]; do
+	code="$(curl -s -o /dev/null -w '%{http_code}' \
+		--data-binary @"$SMOKE_DIR/php12.cnf" "http://$api/v1/jobs?timeout=5s")"
+	if [ "$code" = 429 ]; then
+		shed=yes
+	fi
+	i=$((i + 1))
+done
+if [ -z "$shed" ]; then
+	echo "serve smoke: FAIL — queue overflow never returned 429"
+	exit 1
+fi
+
+# The request counter on /metrics moved.
+curl -fsS "http://$maddr/metrics" | awk '
+	$1 ~ /^neuroselect_server_requests_total/ { sum += $2 }
+	END { exit(sum > 0 ? 0 : 1) }' || {
+	echo "serve smoke: FAIL — neuroselect_server_requests_total never moved"
+	exit 1
+}
+
+# SIGTERM drains: an in-flight job finishes with a result, then the
+# process exits 0 on its own. The flood above left the pool saturated,
+# so retry the submit until the 5s-bounded php-12 jobs free a slot.
+jid=""
+i=0
+while [ -z "$jid" ] && [ "$i" -lt 300 ]; do
+	jid="$(curl -s --data-binary @"$SMOKE_DIR/php7.cnf" \
+		"http://$api/v1/jobs?policy=size" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+	[ -n "$jid" ] || sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$jid" ]; then
+	echo "serve smoke: FAIL — async submit never admitted after the flood"
+	exit 1
+fi
+kill -TERM "$SERVE_PID"
+done_status=""
+i=0
+while [ -z "$done_status" ] && [ "$i" -lt 200 ]; do
+	poll="$(curl -s "http://$api/v1/jobs/$jid" 2>/dev/null || true)"
+	case "$poll" in
+	*'"status":"done"'*) done_status="$poll" ;;
+	*) sleep 0.1 ;;
+	esac
+	i=$((i + 1))
+done
+case "$done_status" in
+*'"status":"UNSAT"'*) : ;;
+*)
+	echo "serve smoke: FAIL — in-flight job dropped during drain: $done_status"
+	exit 1
+	;;
+esac
+rc=0
+wait "$SERVE_PID" || rc=$?
+SERVE_PID=""
+if [ "$rc" != 0 ]; then
+	echo "serve smoke: FAIL — server exited $rc after drain"
+	exit 1
+fi
+echo "serve smoke: concurrent solves, cache hit, 429 shedding, SIGTERM drain all ok"
 
 echo "== coverage (experiments + sweep engine)"
 COVER_PROFILE="$(mktemp)"
