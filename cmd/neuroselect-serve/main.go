@@ -5,6 +5,9 @@
 //	neuroselect-serve [-addr :8080] [-workers N] [-queue N] [-max-timeout D]
 //	                  [-cache-size N] [-max-body BYTES] [-model model.json]
 //	                  [-metrics-addr HOST:PORT] [-drain-timeout D]
+//	                  [-journal DIR] [-max-retries N] [-retry-base D]
+//	                  [-breaker-threshold N] [-breaker-cooldown D]
+//	                  [-breaker-max-latency D]
 //
 // Endpoints (full contract in API.md):
 //
@@ -16,6 +19,13 @@
 // -model loads a trained selector (see `neuroselect train`) so every
 // request gets the paper's one-time policy inference; without it all
 // requests solve under the default policy (or a ?policy= override).
+//
+// -journal enables the durable job journal: async jobs are fsync'd to
+// DIR/journal.jsonl before they are acknowledged, and a restart with the
+// same -journal directory replays any jobs a crash left pending.
+// -max-retries/-retry-base govern re-admission of transiently failed
+// async jobs, and the -breaker-* flags tune the circuit breaker that
+// degrades a failing selector model to the default policy.
 //
 // SIGINT/SIGTERM starts a graceful drain: new submissions get 503,
 // queued and in-flight jobs finish, then the listener closes. A second
@@ -54,6 +64,12 @@ func run() int {
 	modelPath := flag.String("model", "", "trained selector model file; empty serves with the default policy only")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /debug/pprof on this address (e.g. 127.0.0.1:9090)")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long a graceful shutdown waits for queued and in-flight jobs")
+	journalDir := flag.String("journal", "", "directory for the durable job journal; empty disables journaling and crash recovery")
+	maxRetries := flag.Int("max-retries", 2, "re-admissions of a transiently failed async job before the failure is terminal (0 disables retries)")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "base of the jittered exponential retry backoff")
+	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive selector-inference failures that open the circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "how long an open breaker waits before probing the selector again")
+	breakerMaxLatency := flag.Duration("breaker-max-latency", 0, "inference slower than this counts as a breaker failure (0 disables latency tripping)")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -83,15 +99,27 @@ func run() int {
 		fmt.Printf("selector model loaded from %s\n", *modelPath)
 	}
 
-	svc := server.New(server.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		MaxTimeout:   *maxTimeout,
-		CacheSize:    *cacheSize,
-		MaxBodyBytes: *maxBody,
-		Selector:     sel,
-		Registry:     reg,
+	svc, err := server.New(server.Config{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		MaxTimeout:        *maxTimeout,
+		CacheSize:         *cacheSize,
+		MaxBodyBytes:      *maxBody,
+		JournalDir:        *journalDir,
+		MaxRetries:        *maxRetries,
+		RetryBase:         *retryBase,
+		BreakerThreshold:  *breakerThreshold,
+		BreakerCooldown:   *breakerCooldown,
+		BreakerMaxLatency: *breakerMaxLatency,
+		Selector:          sel,
+		Registry:          reg,
 	})
+	if err != nil {
+		return fail(err)
+	}
+	if *journalDir != "" {
+		fmt.Printf("job journal at %s\n", *journalDir)
+	}
 
 	httpSrv := &http.Server{Handler: svc.Handler()}
 	ln, err := net.Listen("tcp", *addr)

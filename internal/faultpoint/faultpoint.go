@@ -10,10 +10,17 @@
 // the injected failure deterministic with respect to the hit sequence.
 //
 // The registry is global because the sites are compiled into packages that
-// must not depend on test plumbing; tests serialize access by arming in a
-// single goroutine and deferring Reset (use t.Cleanup(faultpoint.Reset)).
-// Hit itself is safe for concurrent use, so armed sites may fire from
-// worker goroutines (e.g. the portfolio race).
+// must not depend on test plumbing. Every exported function — Arm, Disarm,
+// Reset, Active, Hits, Fired, and Hit — is safe for concurrent use, and the
+// package is race-detector clean: tests may arm or disarm a site while
+// server goroutines are hitting it. An Arm or Disarm is linearizable with
+// respect to concurrent Hits: each Hit observes either the entire old fault
+// (with its hit counters) or the entire new one, never a mix, and the
+// Skip/Times window of one armed fault is counted under a single lock so
+// the firing sequence is deterministic in the number of hits even when the
+// hits come from many goroutines. Tests should still register
+// t.Cleanup(faultpoint.Reset) so a failing test cannot leak armed sites
+// into the next one.
 package faultpoint
 
 import (
@@ -48,6 +55,38 @@ const (
 	// ExperimentInstance fires once per test instance in the experiments
 	// runner's solving loops.
 	ExperimentInstance Site = "experiments.instance"
+
+	// The server sites below are threaded through internal/server and
+	// drive its chaos harness (internal/server's chaos tests arm random,
+	// seed-deterministic subsets of them).
+
+	// ServerJournalAppend fires before every job-journal append; an
+	// injected error degrades journaling (the record is dropped) without
+	// failing the request.
+	ServerJournalAppend Site = "server.journal.append"
+	// ServerJournalReplay fires once per journal record during startup
+	// replay; an injected error skips that record.
+	ServerJournalReplay Site = "server.journal.replay"
+	// ServerCacheGet fires before every result-cache lookup; an injected
+	// error is treated as a miss.
+	ServerCacheGet Site = "server.cache.get"
+	// ServerCachePut fires before every result-cache fill; an injected
+	// error skips the fill.
+	ServerCachePut Site = "server.cache.put"
+	// ServerEnqueue fires inside the admission path; an injected error
+	// sheds the request as if the queue were full.
+	ServerEnqueue Site = "server.enqueue"
+	// ServerWorkerSolve fires in the worker immediately before the solve;
+	// injected errors and panics are transient failures eligible for the
+	// server's retry policy.
+	ServerWorkerSolve Site = "server.worker.solve"
+	// ServerInference fires before the selector inference call; an
+	// injected error counts as an inference failure toward the circuit
+	// breaker.
+	ServerInference Site = "server.inference"
+	// ServerDrain fires at the start of graceful drain; a Delay fault
+	// simulates a slow drain (errors are ignored — drain must proceed).
+	ServerDrain Site = "server.drain"
 )
 
 // Fault describes what an armed site does when hit. Delay applies first,
@@ -119,6 +158,17 @@ func Hits(site Site) int {
 	defer mu.Unlock()
 	if af, ok := sites[site]; ok {
 		return af.hits
+	}
+	return 0
+}
+
+// Fired returns how many times the site's fault actually fired (0 when
+// unarmed; hits swallowed by Skip/Times do not count).
+func Fired(site Site) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if af, ok := sites[site]; ok {
+		return af.fired
 	}
 	return 0
 }

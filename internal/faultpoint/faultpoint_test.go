@@ -124,3 +124,68 @@ func TestRearmResetsCounters(t *testing.T) {
 		t.Fatal("re-armed fault must fire again")
 	}
 }
+
+// TestConcurrentArmDisarmHit is the package's documented-guarantee stress
+// test: goroutines hammer Hit on a set of sites while others arm, disarm,
+// re-arm, and interrogate them. Run under -race it proves the registry is
+// race-free when tests reconfigure sites that live server goroutines are
+// hitting; the invariant checked here is weaker (no crash, counters sane)
+// because interleavings are nondeterministic by design.
+func TestConcurrentArmDisarmHit(t *testing.T) {
+	t.Cleanup(Reset)
+	sites := []Site{"test.conc.a", "test.conc.b", "test.conc.c"}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Hitters: simulate server goroutines crossing the sites constantly.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = Hit(sites[(g+i)%len(sites)])
+			}
+		}(g)
+	}
+	// Armers: simulate tests reconfiguring faults mid-flight.
+	errBoom := errors.New("boom")
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := sites[(g+i)%len(sites)]
+				Arm(s, Fault{Err: errBoom, Skip: i % 3, Times: 1 + i%4})
+				_ = Hits(s)
+				_ = Fired(s)
+				_ = Active()
+				if i%5 == 0 {
+					Disarm(s)
+				}
+			}
+		}(g)
+	}
+
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	Reset()
+	if Active() {
+		t.Fatal("Reset must leave no site armed")
+	}
+	for _, s := range sites {
+		if Hits(s) != 0 || Fired(s) != 0 {
+			t.Fatalf("site %s retained counters after Reset", s)
+		}
+	}
+}

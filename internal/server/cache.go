@@ -61,9 +61,9 @@ func CanonicalHash(f *cnf.Formula) string {
 // stored body verbatim, so repeated uploads of one instance get
 // byte-identical answers.
 type resultCache struct {
-	mu   sync.Mutex
-	cap  int
-	ll   *list.List               // front = most recent
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent
 	byKey map[string]*list.Element
 }
 

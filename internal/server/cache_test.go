@@ -19,10 +19,10 @@ func parse(t *testing.T, s string) *cnf.Formula {
 func TestCanonicalHashInvariantToOrderAndSyntax(t *testing.T) {
 	base := parse(t, "p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n")
 	variants := map[string]string{
-		"clause order":       "p cnf 3 3\n-2 -3 0\n1 2 0\n-1 3 0\n",
-		"literal order":      "p cnf 3 3\n2 1 0\n3 -1 0\n-3 -2 0\n",
-		"comments + layout":  "c hello\np cnf 3 3\n1 2 0 -1 3 0\nc mid\n-2 -3 0\n",
-		"both reorderings":   "p cnf 3 3\n-3 -2 0\n3 -1 0\n2 1 0\n",
+		"clause order":      "p cnf 3 3\n-2 -3 0\n1 2 0\n-1 3 0\n",
+		"literal order":     "p cnf 3 3\n2 1 0\n3 -1 0\n-3 -2 0\n",
+		"comments + layout": "c hello\np cnf 3 3\n1 2 0 -1 3 0\nc mid\n-2 -3 0\n",
+		"both reorderings":  "p cnf 3 3\n-3 -2 0\n3 -1 0\n2 1 0\n",
 	}
 	want := CanonicalHash(base)
 	for name, text := range variants {

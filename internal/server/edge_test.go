@@ -1,0 +1,103 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestJobHistoryEvictionReturns404: completed jobs beyond the history cap
+// are forgotten, and polling a forgotten id is a clean 404 — not a stale
+// result, not a crash.
+func TestJobHistoryEvictionReturns404(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, JobHistory: 1})
+
+	id1 := submitJob(t, ts.URL, satCNF)
+	waitJobState(t, ts.URL, id1, JobDone)
+	id2 := submitJob(t, ts.URL, unsatCNF)
+	waitJobState(t, ts.URL, id2, JobDone)
+
+	// id2's completion evicted id1 (history cap 1).
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("evicted job poll = %d, want 404", resp.StatusCode)
+	}
+	// The younger job survives.
+	if v := pollJob(t, ts.URL, id2); v.Status != JobDone {
+		t.Fatalf("surviving job = %+v, want done", v)
+	}
+}
+
+// TestDrainRacesJustAdmittedJobs: submissions race a concurrent Drain.
+// Every submission that was acknowledged (202) must reach a terminal
+// state before Drain returns — a job is either refused outright or
+// finished, never stranded.
+func TestDrainRacesJustAdmittedJobs(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 32})
+
+	const clients = 24
+	accepted := make([]string, 0, clients)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			// Tiny distinct instances: each is its own flight and solves
+			// instantly, maximizing admit/drain interleavings.
+			body := fmt.Sprintf("p cnf %d 1\n%d 0\n", i+1, i+1)
+			resp := post(t, ts.URL+"/v1/jobs", body)
+			defer resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusAccepted, http.StatusOK:
+				var v jobView
+				if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				accepted = append(accepted, v.ID)
+				mu.Unlock()
+			case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+				// Refused by the closing door; the client was told.
+			default:
+				t.Errorf("client %d: unexpected status %d", i, resp.StatusCode)
+			}
+		}(i)
+	}
+	drained := make(chan error, 1)
+	go func() {
+		<-start
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- s.Drain(drainCtx)
+	}()
+	close(start)
+	wg.Wait()
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	for _, id := range accepted {
+		j, ok := s.jobs.Get(id)
+		if !ok {
+			t.Errorf("accepted job %s vanished from the store", id)
+			continue
+		}
+		select {
+		case <-j.done:
+		default:
+			t.Errorf("accepted job %s not terminal after Drain returned", id)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"neuroselect/internal/faultpoint"
+	"neuroselect/internal/obs"
+)
+
+// TestConcurrentIdenticalSolvesSingleflight is the dedup contract: ten
+// concurrent identical sync solves perform exactly one solver run. The
+// worker-solve faultpoint's hit counter and the solves metric prove the
+// single run; the X-Dedup header and the dedup counter prove the other
+// nine shared it.
+func TestConcurrentIdenticalSolvesSingleflight(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	s, ts := newTestServer(t, Config{Workers: 4})
+	// Hold the one real solve open long enough for every request to pile
+	// into the flight (a pure Delay fault injects no failure).
+	faultpoint.Arm(faultpoint.ServerWorkerSolve, faultpoint.Fault{Delay: 300 * time.Millisecond})
+
+	const clients = 10
+	type reply struct {
+		code  int
+		dedup string
+		body  []byte
+	}
+	replies := make([]reply, clients)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			defer done.Done()
+			start.Wait()
+			resp, err := http.Post(ts.URL+"/v1/solve", "text/plain", strings.NewReader(satCNF))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			replies[i] = reply{code: resp.StatusCode, dedup: resp.Header.Get("X-Dedup"), body: body}
+		}(i)
+	}
+	start.Done()
+	done.Wait()
+
+	shared := 0
+	for i, r := range replies {
+		if r.code != 200 {
+			t.Fatalf("client %d: status %d body %s", i, r.code, r.body)
+		}
+		if !bytes.Equal(r.body, replies[0].body) {
+			t.Fatalf("client %d body diverged:\n%s\nvs\n%s", i, r.body, replies[0].body)
+		}
+		if r.dedup == "shared" {
+			shared++
+		}
+	}
+	if shared != clients-1 {
+		t.Errorf("%d clients shared the flight, want %d", shared, clients-1)
+	}
+	if hits := faultpoint.Hits(faultpoint.ServerWorkerSolve); hits != 1 {
+		t.Errorf("worker performed %d solves, want exactly 1", hits)
+	}
+	if got := s.Registry().Counter("neuroselect_server_dedup_total", "", obs.Labels{"path": "solve"}).Value(); got != int64(clients-1) {
+		t.Errorf("dedup counter = %d, want %d", got, clients-1)
+	}
+	if got := s.Registry().Counter("neuroselect_server_solves_total", "", obs.Labels{"policy": "default", "status": "SAT"}).Value(); got != 1 {
+		t.Errorf("solves counter = %d, want 1", got)
+	}
+}
+
+// TestDuplicateSubmitSharesInFlightJob: an async submit identical to a
+// job already being solved attaches to it instead of enqueueing a second
+// solve, and its poll result is marked shared.
+func TestDuplicateSubmitSharesInFlightJob(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	s, ts := newTestServer(t, Config{Workers: 1})
+	faultpoint.Arm(faultpoint.ServerWorkerSolve, faultpoint.Fault{Delay: 200 * time.Millisecond})
+
+	id1 := submitJob(t, ts.URL, satCNF)
+	waitJobState(t, ts.URL, id1, JobRunning)
+
+	resp := post(t, ts.URL+"/v1/jobs", satCNF)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("duplicate submit = %d, want 202", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Dedup"); got != "shared" {
+		t.Fatalf("duplicate submit X-Dedup = %q, want shared", got)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Shared || v.ID == id1 {
+		t.Fatalf("duplicate submit view = %+v, want a distinct shared job id", v)
+	}
+
+	v2 := waitJobState(t, ts.URL, v.ID, JobDone)
+	if v2.Error != "" || len(v2.Result) == 0 || !v2.Shared {
+		t.Fatalf("shared job completed as %+v, want a shared clean result", v2)
+	}
+	v1 := waitJobState(t, ts.URL, id1, JobDone)
+	if !bytes.Equal(v1.Result, v2.Result) {
+		t.Fatalf("leader and follower results diverged:\n%s\nvs\n%s", v1.Result, v2.Result)
+	}
+	if hits := faultpoint.Hits(faultpoint.ServerWorkerSolve); hits != 1 {
+		t.Errorf("worker performed %d solves, want exactly 1", hits)
+	}
+	if got := s.Registry().Counter("neuroselect_server_dedup_total", "", obs.Labels{"path": "jobs"}).Value(); got != 1 {
+		t.Errorf("dedup counter = %d, want 1", got)
+	}
+}

@@ -189,10 +189,12 @@ func (s *Server) refuseIfDraining(w http.ResponseWriter) bool {
 	return true
 }
 
-// handleSolve is POST /v1/solve: parse, consult the cache, admit onto the
-// worker pool, block for the result. The X-Cache header says whether the
-// body came from the cache ("hit") or a fresh solve ("miss"); traced
-// requests report "bypass".
+// handleSolve is POST /v1/solve: parse, consult the cache, join or lead
+// the singleflight for the instance, admit onto the worker pool, block
+// for the result. The X-Cache header says whether the body came from the
+// cache ("hit") or a fresh solve ("miss"); traced requests report
+// "bypass". A request that shared an identical in-flight solve also
+// carries X-Dedup: shared.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if s.refuseIfDraining(w) {
 		return
@@ -203,7 +205,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if j.key != "" {
-		if e, ok := s.cache.Get(j.key); ok {
+		if e, ok := s.cacheGet(j.key); ok {
 			s.m.cacheEv("hit").Inc()
 			s.m.solves(e.policy, "cached").Inc()
 			w.Header().Set("X-Cache", "hit")
@@ -213,24 +215,40 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		s.m.cacheEv("miss").Inc()
 	}
-	j.ctx = r.Context()
-	if !s.enqueue(j) {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
-			fmt.Sprintf("queue full (depth %d): retry later", cap(s.queue)))
-		return
+	if j.key != "" {
+		// Keyed solves run under the server's lifetime, not the request's:
+		// the result may be shared with concurrent identical requests, and
+		// one departing client must not cancel work other waiters ride on.
+		j.ctx = s.baseCtx
+		if s.joinFlight(j) != nil {
+			s.m.dedup("solve").Inc()
+		} else if !s.enqueue(j) {
+			s.abortFlight(j, http.StatusTooManyRequests, "queue full: retry later")
+			s.shedResponse(w)
+			return
+		}
+	} else {
+		j.ctx = r.Context()
+		if !s.enqueue(j) {
+			s.shedResponse(w)
+			return
+		}
 	}
 	select {
 	case <-j.done:
 	case <-r.Context().Done():
-		// Client gone; the worker sees the canceled context and discards
-		// the job. Nothing useful can be written.
+		// Client gone. An unkeyed job's worker sees the canceled context
+		// and discards it; a keyed job runs on (other waiters may share
+		// it). Either way nothing useful can be written here.
 		return
 	}
 	_, body, errCode, errMsg := j.snapshot()
 	if errCode != 0 {
 		writeError(w, errCode, errMsg)
 		return
+	}
+	if j.shared {
+		w.Header().Set("X-Dedup", "shared")
 	}
 	if j.trace {
 		w.Header().Set("X-Cache", "bypass")
@@ -241,9 +259,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(body)
 }
 
-// handleSubmit is POST /v1/jobs: parse, consult the cache, admit, return
-// a job id immediately. A cache hit completes the job before the response
-// is written, so the first poll already carries the result.
+// shedResponse writes the 429 for a full admission queue. Retry-After is
+// derived from the live backlog and the smoothed solve time, jittered so
+// shed clients do not all come back at once.
+func (s *Server) shedResponse(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Sprintf("queue full (depth %d): retry later", cap(s.queue)))
+}
+
+// handleSubmit is POST /v1/jobs: parse, consult the cache, journal,
+// join or lead the singleflight, admit, return a job id immediately. A
+// cache hit completes the job before the response is written, so the
+// first poll already carries the result; a submit identical to an
+// in-flight solve attaches to it (X-Dedup: shared) and completes when
+// the leader does.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.refuseIfDraining(w) {
 		return
@@ -254,7 +284,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if j.key != "" {
-		if e, ok := s.cache.Get(j.key); ok {
+		if e, ok := s.cacheGet(j.key); ok {
 			s.m.cacheEv("hit").Inc()
 			s.m.solves(e.policy, "cached").Inc()
 			j.cached = true
@@ -270,11 +300,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// base context (canceled only by Close), bounded by the job timeout.
 	j.ctx = s.baseCtx
 	id := s.jobs.Add(j)
+	// Journal before the 202: once the client holds an id, a crash must
+	// not lose the job.
+	s.journalSubmit(j)
+	if j.key != "" {
+		if s.joinFlight(j) != nil {
+			s.m.dedup("jobs").Inc()
+			w.Header().Set("X-Dedup", "shared")
+			writeJSON(w, http.StatusAccepted, jobView{ID: id, Status: JobQueued, Shared: true})
+			return
+		}
+	}
 	if !s.enqueue(j) {
+		s.abortFlight(j, http.StatusTooManyRequests, "queue full: retry later")
+		s.journalDone(j, "shed")
 		s.jobs.Remove(id)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
-			fmt.Sprintf("queue full (depth %d): retry later", cap(s.queue)))
+		s.shedResponse(w)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, jobView{ID: id, Status: JobQueued})
@@ -288,7 +329,7 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	state, body, errCode, errMsg := j.snapshot()
-	view := jobView{ID: j.id, Status: state, Cached: j.cached}
+	view := jobView{ID: j.id, Status: state, Cached: j.cached, Shared: j.shared}
 	if state == JobDone {
 		if errCode != 0 {
 			view.Error = fmt.Sprintf("%d: %s", errCode, errMsg)
@@ -300,13 +341,18 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealth is GET /healthz: 200 "ok" while serving, 503 "draining"
-// during graceful shutdown so load balancers stop routing here.
+// during graceful shutdown so load balancers stop routing here. The
+// second line reports the inference circuit-breaker state
+// (breaker=closed|half-open|open) — an open breaker means the service is
+// up but degraded to the default policy.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.Draining() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
+		fmt.Fprintf(w, "breaker=%s\n", s.brk.State())
 		return
 	}
 	fmt.Fprintln(w, "ok")
+	fmt.Fprintf(w, "breaker=%s\n", s.brk.State())
 }

@@ -36,9 +36,15 @@ type job struct {
 	policy  deletion.Policy // non-nil pins the policy (bypasses the selector)
 	trace   bool
 	cached  bool // completed from the result cache without solving
+	shared  bool // completed by an identical in-flight solve (singleflight)
+	attempt int  // retry attempt number; 0 = first admission
 
 	ctx      context.Context // request ctx (sync) or server base ctx (async)
 	enqueued time.Time
+
+	// followers are identical keyed jobs riding this one (guarded by the
+	// server's flight-table mutex, not j.mu — see flight.go).
+	followers []*job
 
 	mu      sync.Mutex
 	state   string
@@ -82,6 +88,18 @@ func (j *job) finish() {
 	j.state = JobDone
 	j.mu.Unlock()
 	close(j.done)
+}
+
+// reset clears a failed attempt's outcome so the job can be re-admitted
+// by the retry path: state returns to queued and the enqueue clock
+// restarts (queue-wait timings describe the attempt that answered).
+func (j *job) reset() {
+	j.mu.Lock()
+	j.state = JobQueued
+	j.body = nil
+	j.errCode, j.errMsg = 0, ""
+	j.mu.Unlock()
+	j.enqueued = time.Now()
 }
 
 // completeFromCache marks a freshly created job done with a cached body,
@@ -132,6 +150,7 @@ type jobView struct {
 	ID     string          `json:"id"`
 	Status string          `json:"status"` // queued | running | done
 	Cached bool            `json:"cached,omitempty"`
+	Shared bool            `json:"shared,omitempty"` // result produced by a deduplicated identical solve
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"` // a solveResponse once done
 }
@@ -171,6 +190,20 @@ func (st *jobStore) Add(j *job) string {
 	j.id = fmt.Sprintf("j%08d", st.nextID)
 	st.byID[j.id] = j
 	return j.id
+}
+
+// AddReplayed registers a journal-replayed job under its original id so
+// a client polling across the restart still finds it, and advances the id
+// counter past it so fresh submissions cannot collide.
+func (st *jobStore) AddReplayed(j *job, id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j.id = id
+	st.byID[id] = j
+	var n uint64
+	if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > st.nextID {
+		st.nextID = n
+	}
 }
 
 // Get looks a job up by id.

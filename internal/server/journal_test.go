@@ -1,0 +1,266 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"neuroselect/internal/obs"
+)
+
+// writeJournalFile seeds a journal directory with raw JSONL lines, the
+// way a crashed process would have left them.
+func writeJournalFile(t *testing.T, dir string, lines ...string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data := strings.Join(lines, "\n")
+	if len(lines) > 0 {
+		data += "\n"
+	}
+	if err := os.WriteFile(filepath.Join(dir, journalFileName), []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readJournalLines returns the journal's current records.
+func readJournalLines(t *testing.T, dir string) []journalRecord {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, journalFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []journalRecord
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("bad journal line %q: %v", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func mustJSON(t *testing.T, rec journalRecord) string {
+	t.Helper()
+	b, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, pending, err := openJournal(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("fresh journal reported %d pending jobs", len(pending))
+	}
+	j.append(&journalRecord{Type: "submit", ID: "j00000001", Key: "auto:abc", CNF: satCNF, TimeoutNS: int64(time.Second)})
+	j.append(&journalRecord{Type: "start", ID: "j00000001", Attempt: 0})
+	j.append(&journalRecord{Type: "done", ID: "j00000001", Status: "ok"})
+	j.Close()
+
+	j2, pending, err := openJournal(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(pending) != 0 {
+		t.Fatalf("completed job resurfaced as pending: %+v", pending)
+	}
+}
+
+func TestJournalReplayFindsPendingJobs(t *testing.T) {
+	dir := t.TempDir()
+	writeJournalFile(t, dir,
+		mustJSON(t, journalRecord{Type: "submit", ID: "j00000002", Key: "auto:k2", CNF: satCNF, TimeoutNS: int64(2 * time.Second)}),
+		mustJSON(t, journalRecord{Type: "submit", ID: "j00000001", Key: "auto:k1", CNF: unsatCNF, TimeoutNS: int64(time.Second)}),
+		mustJSON(t, journalRecord{Type: "start", ID: "j00000001"}),
+		mustJSON(t, journalRecord{Type: "done", ID: "j00000002", Status: "ok"}),
+	)
+	j, pending, err := openJournal(dir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(pending) != 1 {
+		t.Fatalf("pending = %d jobs, want 1", len(pending))
+	}
+	got := pending[0]
+	if got.ID != "j00000001" || got.CNF != unsatCNF || got.TimeoutNS != int64(time.Second) {
+		t.Fatalf("wrong pending record: %+v", got)
+	}
+	// Replay compacts: the file now holds exactly the pending submit.
+	recs := readJournalLines(t, dir)
+	if len(recs) != 1 || recs[0].Type != "submit" || recs[0].ID != "j00000001" {
+		t.Fatalf("post-replay journal = %+v, want the single pending submit", recs)
+	}
+}
+
+func TestJournalSkipsTornFinalLine(t *testing.T) {
+	dir := t.TempDir()
+	torn := mustJSON(t, journalRecord{Type: "submit", ID: "j00000002", CNF: satCNF})
+	writeJournalFile(t, dir,
+		mustJSON(t, journalRecord{Type: "submit", ID: "j00000001", CNF: satCNF}),
+		torn[:len(torn)/2], // crash mid-append
+	)
+	var errOps []string
+	j, pending, err := openJournal(dir, 0, func(op string) { errOps = append(errOps, op) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(pending) != 1 || pending[0].ID != "j00000001" {
+		t.Fatalf("pending = %+v, want just the intact submit", pending)
+	}
+	if len(errOps) != 1 || errOps[0] != "replay" {
+		t.Fatalf("error ops = %v, want one replay error for the torn line", errOps)
+	}
+}
+
+func TestJournalCompactionBoundsGrowth(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := openJournal(dir, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		id := "j" + strings.Repeat("0", 7) + string(rune('0'+i%10))
+		j.append(&journalRecord{Type: "submit", ID: id, CNF: satCNF})
+		j.append(&journalRecord{Type: "start", ID: id})
+		j.append(&journalRecord{Type: "done", ID: id, Status: "ok"})
+	}
+	j.mu.Lock()
+	obsolete := j.obsolete
+	j.mu.Unlock()
+	if obsolete >= 4+3 {
+		t.Fatalf("obsolete backlog = %d, compaction is not keeping up", obsolete)
+	}
+	j.Close()
+	if recs := readJournalLines(t, dir); len(recs) != 0 {
+		t.Fatalf("drained journal holds %d records, want 0", len(recs))
+	}
+}
+
+// TestServerReplaysPendingJournal is the crash-recovery contract: a journal
+// holding a submit without a done (what kill -9 after the 202 leaves
+// behind) is re-admitted at startup under its original id and reaches a
+// terminal state exactly once.
+func TestServerReplaysPendingJournal(t *testing.T) {
+	dir := t.TempDir()
+	writeJournalFile(t, dir,
+		mustJSON(t, journalRecord{Type: "submit", ID: "j00000007", Key: "auto:" + CanonicalHash(parse(t, satCNF)),
+			CNF: satCNF, TimeoutNS: int64(10 * time.Second)}),
+		mustJSON(t, journalRecord{Type: "start", ID: "j00000007"}),
+	)
+	s, ts := newTestServer(t, Config{Workers: 1, JournalDir: dir})
+
+	j, ok := s.jobs.Get("j00000007")
+	if !ok {
+		t.Fatal("replayed job not found in the job store under its original id")
+	}
+	select {
+	case <-j.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("replayed job never completed")
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/j00000007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != JobDone || v.Error != "" || len(v.Result) == 0 {
+		t.Fatalf("replayed job view = %+v, want a clean done result", v)
+	}
+	var sr solveResponse
+	if err := json.Unmarshal(v.Result, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Status != "SAT" {
+		t.Fatalf("replayed solve status = %q, want SAT", sr.Status)
+	}
+	if got := s.Registry().Counter("neuroselect_server_journal_replayed_total", "", nil).Value(); got != 1 {
+		t.Fatalf("replayed counter = %d, want 1", got)
+	}
+
+	// A fresh submission must not collide with the replayed id space.
+	id := submitJob(t, ts.URL, unsatCNF)
+	if id <= "j00000007" {
+		t.Fatalf("fresh job id %q did not advance past the replayed id", id)
+	}
+
+	// A clean drain leaves the journal with no pending work.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	if recs := readJournalLines(t, dir); len(recs) != 0 {
+		t.Fatalf("journal after drain = %+v, want empty", recs)
+	}
+}
+
+// TestServerJournalsAsyncLifecycle: a normally-completed async job leaves
+// nothing pending for a future replay.
+func TestServerJournalsAsyncLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, Config{Workers: 1, JournalDir: dir})
+	id := submitJob(t, ts.URL, satCNF)
+	waitJobState(t, ts.URL, id, JobDone)
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	if recs := readJournalLines(t, dir); len(recs) != 0 {
+		t.Fatalf("journal after lifecycle = %+v, want empty", recs)
+	}
+
+	// A second process over the same directory replays nothing.
+	s2, err := New(Config{Workers: 1, JournalDir: dir, MaxTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Registry().Counter("neuroselect_server_journal_replayed_total", "", nil).Value(); got != 0 {
+		t.Fatalf("second process replayed %d jobs, want 0", got)
+	}
+}
+
+// TestReplayDeduplicatesIdenticalPending: two pending journaled jobs with
+// the same key share one flight at replay — the restart does not double
+// the solving work a crash interrupted.
+func TestReplayDeduplicatesIdenticalPending(t *testing.T) {
+	dir := t.TempDir()
+	key := "auto:" + CanonicalHash(parse(t, satCNF))
+	writeJournalFile(t, dir,
+		mustJSON(t, journalRecord{Type: "submit", ID: "j00000001", Key: key, CNF: satCNF, TimeoutNS: int64(10 * time.Second)}),
+		mustJSON(t, journalRecord{Type: "submit", ID: "j00000002", Key: key, CNF: satCNF, TimeoutNS: int64(10 * time.Second)}),
+	)
+	s, ts := newTestServer(t, Config{Workers: 1, JournalDir: dir})
+	for _, id := range []string{"j00000001", "j00000002"} {
+		waitJobState(t, ts.URL, id, JobDone)
+	}
+	if got := s.Registry().Counter("neuroselect_server_dedup_total", "", obs.Labels{"path": "replay"}).Value(); got != 1 {
+		t.Fatalf("replay dedup counter = %d, want 1", got)
+	}
+}

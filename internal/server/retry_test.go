@@ -1,0 +1,112 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"neuroselect/internal/faultpoint"
+)
+
+// TestTransientFailureRetriesToSuccess: an async job whose first two
+// attempts fail on an injected worker fault is re-admitted with backoff
+// and completes cleanly on the third attempt.
+func TestTransientFailureRetriesToSuccess(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	s, ts := newTestServer(t, Config{Workers: 1, MaxRetries: 3, RetryBase: 2 * time.Millisecond})
+	faultpoint.Arm(faultpoint.ServerWorkerSolve,
+		faultpoint.Fault{Err: errors.New("flaky disk"), Times: 2})
+
+	id := submitJob(t, ts.URL, satCNF)
+	v := waitJobState(t, ts.URL, id, JobDone)
+	if v.Error != "" || len(v.Result) == 0 {
+		t.Fatalf("retried job finished as %+v, want a clean result", v)
+	}
+	if hits := faultpoint.Hits(faultpoint.ServerWorkerSolve); hits != 3 {
+		t.Errorf("worker attempts = %d, want 3 (two failures + one success)", hits)
+	}
+	if got := s.Registry().Counter("neuroselect_server_retries_total", "", nil).Value(); got != 2 {
+		t.Errorf("retries counter = %d, want 2", got)
+	}
+}
+
+// TestRetriesExhaustIntoTerminalFailure: once the attempt cap is spent,
+// the transient failure becomes the job's terminal state — exactly once.
+func TestRetriesExhaustIntoTerminalFailure(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	s, ts := newTestServer(t, Config{Workers: 1, MaxRetries: 1, RetryBase: 2 * time.Millisecond})
+	faultpoint.Arm(faultpoint.ServerWorkerSolve, faultpoint.Fault{Err: errors.New("still broken")})
+
+	id := submitJob(t, ts.URL, satCNF)
+	v := waitJobState(t, ts.URL, id, JobDone)
+	if !strings.Contains(v.Error, "500") || !strings.Contains(v.Error, "still broken") {
+		t.Fatalf("exhausted job error = %q, want the 500 with the injected cause", v.Error)
+	}
+	if hits := faultpoint.Hits(faultpoint.ServerWorkerSolve); hits != 2 {
+		t.Errorf("worker attempts = %d, want 2 (initial + one retry)", hits)
+	}
+	if got := s.Registry().Counter("neuroselect_server_retries_total", "", nil).Value(); got != 1 {
+		t.Errorf("retries counter = %d, want 1", got)
+	}
+}
+
+// TestPanicContainedAndRetried: a panic thrown inside the worker is a
+// transient failure — contained, retried, and eventually successful.
+func TestPanicContainedAndRetried(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	s, ts := newTestServer(t, Config{Workers: 1, MaxRetries: 2, RetryBase: 2 * time.Millisecond})
+	faultpoint.Arm(faultpoint.ServerWorkerSolve,
+		faultpoint.Fault{PanicValue: "poisoned instance", Times: 1})
+
+	id := submitJob(t, ts.URL, satCNF)
+	v := waitJobState(t, ts.URL, id, JobDone)
+	if v.Error != "" || len(v.Result) == 0 {
+		t.Fatalf("panicked job finished as %+v, want a clean retried result", v)
+	}
+	if got := s.Registry().Counter("neuroselect_server_retries_total", "", nil).Value(); got != 1 {
+		t.Errorf("retries counter = %d, want 1", got)
+	}
+}
+
+// TestSyncSolveNeverRetries: the retry policy is async-only — a sync
+// client is waiting on the response, so a transient failure surfaces
+// immediately as its 500.
+func TestSyncSolveNeverRetries(t *testing.T) {
+	t.Cleanup(faultpoint.Reset)
+	s, ts := newTestServer(t, Config{Workers: 1, MaxRetries: 3, RetryBase: 2 * time.Millisecond})
+	faultpoint.Arm(faultpoint.ServerWorkerSolve, faultpoint.Fault{Err: errors.New("flaky disk")})
+
+	resp := post(t, ts.URL+"/v1/solve", satCNF)
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("sync transient failure = %d, want 500", resp.StatusCode)
+	}
+	if hits := faultpoint.Hits(faultpoint.ServerWorkerSolve); hits != 1 {
+		t.Errorf("worker attempts = %d, want 1 (no retries for sync)", hits)
+	}
+	if got := s.Registry().Counter("neuroselect_server_retries_total", "", nil).Value(); got != 0 {
+		t.Errorf("retries counter = %d, want 0", got)
+	}
+}
+
+// TestRetryDelayGrowsAndStaysJittered: the backoff schedule is
+// exponential with full jitter and a 30s cap.
+func TestRetryDelayGrowsAndStaysJittered(t *testing.T) {
+	base := 100 * time.Millisecond
+	for attempt := 1; attempt <= 12; attempt++ {
+		full := base
+		for i := 1; i < attempt && full < 30*time.Second; i++ {
+			full *= 2
+		}
+		if full > 30*time.Second {
+			full = 30 * time.Second
+		}
+		for trial := 0; trial < 20; trial++ {
+			d := retryDelay(base, attempt)
+			if d < full/2 || d > full {
+				t.Fatalf("attempt %d delay %v outside [%v, %v]", attempt, d, full/2, full)
+			}
+		}
+	}
+}

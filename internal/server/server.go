@@ -15,17 +15,40 @@
 //
 //   - Admission control: a fixed-depth queue in front of the pool; an
 //     enqueue that would block is shed immediately with 429 and a
-//     Retry-After hint, so latency stays bounded under overload.
+//     Retry-After hint derived from the live backlog (jittered so
+//     synchronized clients do not return in lockstep), so latency stays
+//     bounded under overload.
 //   - Result cache: an LRU keyed by CanonicalHash short-circuits repeated
 //     instances — the one-time solving (and inference) cost is amortized
 //     across identical uploads, the NeuroBack-style amortization argument
 //     applied to whole results.
+//   - Singleflight dedup: concurrent identical solves (same canonical
+//     hash and policy variant) share one worker; followers receive the
+//     leader's result with X-Dedup: shared (see flight.go).
+//   - Durability: with Config.JournalDir set, every async job is recorded
+//     in a write-ahead job journal before its 202 is written; a crashed
+//     or SIGKILLed server replays pending jobs on restart and re-admits
+//     them through the normal queue (see journal.go).
+//   - Retries: transient failures (contained solver panics,
+//     faultpoint-injected errors) re-admit async jobs with jittered
+//     exponential backoff up to Config.MaxRetries attempts.
+//   - Circuit breaker: consecutive selector-inference failures (or
+//     latency above Config.BreakerMaxLatency) trip the breaker; while
+//     open, requests skip inference and run DefaultPolicy outright, and a
+//     half-open probe re-tests the model after Config.BreakerCooldown
+//     (see breaker.go).
 //   - Deadlines: every request runs under a per-request timeout
 //     (?timeout=, clamped by Config.MaxTimeout) and returns UNKNOWN with
 //     a stop reason rather than holding a worker.
 //   - Async jobs: POST /v1/jobs enqueues and returns a job id to poll, so
 //     clients are not held open for long solves; SIGTERM-style shutdown
 //     drains queued and in-flight jobs before the listener closes.
+//
+// Failure domains are isolated: journal I/O degrades durability but never
+// availability, cache faults degrade to misses, a broken model degrades
+// to the default policy, and a poisoned instance is contained to its own
+// worker iteration. The faultpoint sites threaded through these paths
+// (faultpoint.Server*) drive the chaos harness in chaos_test.go.
 //
 // The HTTP contract (endpoints, schemas, error codes, metric names) is
 // documented in API.md at the repo root.
@@ -35,7 +58,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,13 +69,15 @@ import (
 	"neuroselect/internal/cnf"
 	"neuroselect/internal/dataset"
 	"neuroselect/internal/deletion"
+	"neuroselect/internal/faultpoint"
 	"neuroselect/internal/obs"
 	"neuroselect/internal/portfolio"
 	"neuroselect/internal/solver"
 )
 
 // Config sizes a Server. The zero value is usable: NumCPU workers, a
-// 64-deep queue, a 30s timeout ceiling, a 256-entry cache.
+// 64-deep queue, a 30s timeout ceiling, a 256-entry cache, no journal, no
+// retries.
 type Config struct {
 	// Workers bounds the solver pool (<=0 → runtime.NumCPU()).
 	Workers int
@@ -71,6 +99,29 @@ type Config struct {
 	// JobHistory caps retained completed async jobs; the oldest finished
 	// job is forgotten first (<=0 → 1024).
 	JobHistory int
+	// JournalDir, when non-empty, enables the write-ahead job journal:
+	// async jobs are fsync'd there before they are acknowledged, and New
+	// replays jobs left pending by a crash. Empty disables journaling.
+	JournalDir string
+	// JournalCompactEvery bounds journal growth: once this many obsolete
+	// records accumulate the file is compacted in place (<=0 → 256).
+	JournalCompactEvery int
+	// MaxRetries is how many times a transiently-failed async job
+	// (contained panic, injected fault) is re-admitted before its failure
+	// becomes terminal (0 = no retries).
+	MaxRetries int
+	// RetryBase is the backoff unit: attempt n waits a jittered
+	// RetryBase×2^(n-1) before re-admission (<=0 → 100ms).
+	RetryBase time.Duration
+	// BreakerThreshold is how many consecutive inference failures open
+	// the circuit breaker (<=0 → 5).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// a half-open probe inference (<=0 → 10s).
+	BreakerCooldown time.Duration
+	// BreakerMaxLatency, when >0, counts an inference slower than this as
+	// a failure even if it returned a policy (a latency-spike trip).
+	BreakerMaxLatency time.Duration
 	// Selector, when non-nil, picks the deletion policy per instance via
 	// the NeuroSelect model (requests may still pin one with ?policy=).
 	// Nil servers solve everything under the default policy.
@@ -81,13 +132,19 @@ type Config struct {
 }
 
 // Server is a running solving service: worker pool, admission queue,
-// result cache, async job store. Create with New, mount Handler on an
-// http.Server, and stop with Drain (graceful) or Close (abort).
+// result cache, async job store, job journal, singleflight table, and
+// inference breaker. Create with New, mount Handler on an http.Server,
+// and stop with Drain (graceful) or Close (abort).
 type Server struct {
 	cfg   Config
 	queue chan *job
 	cache *resultCache
 	jobs  *jobStore
+	jnl   *journal // nil when journaling is disabled
+	brk   *breaker
+
+	flMu sync.Mutex // guards fl and every job's followers slice
+	fl   flightTable
 
 	baseCtx context.Context // parent of every async solve; canceled by Close
 	cancel  context.CancelFunc
@@ -98,20 +155,28 @@ type Server struct {
 	draining atomic.Bool
 	closed   atomic.Bool
 
+	solveEWMA atomic.Uint64 // float64 bits: smoothed solve seconds, feeds Retry-After
+
 	m serverMetrics
 }
 
 // serverMetrics is the service's obs instrumentation. All series live
 // under the neuroselect_server_* namespace documented in API.md.
 type serverMetrics struct {
-	reg       *obs.Registry
-	reqSec    func(endpoint string) *obs.Histogram
-	requests  func(endpoint, code string) *obs.Counter
-	queueWait *obs.Histogram
-	shed      *obs.Counter
-	cacheEv   func(event string) *obs.Counter
-	solves    func(policy, status string) *obs.Counter
-	inflight  *obs.Gauge
+	reg        *obs.Registry
+	reqSec     func(endpoint string) *obs.Histogram
+	requests   func(endpoint, code string) *obs.Counter
+	queueWait  *obs.Histogram
+	shed       *obs.Counter
+	cacheEv    func(event string) *obs.Counter
+	solves     func(policy, status string) *obs.Counter
+	inflight   *obs.Gauge
+	dedup      func(path string) *obs.Counter
+	retries    *obs.Counter
+	replayed   *obs.Counter
+	journalErr func(op string) *obs.Counter
+	inference  func(outcome string) *obs.Counter
+	breakerTo  func(state string) *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry, s *Server) serverMetrics {
@@ -138,18 +203,44 @@ func newServerMetrics(reg *obs.Registry, s *Server) serverMetrics {
 	}
 	m.inflight = reg.Gauge("neuroselect_server_inflight_solves",
 		"Jobs currently being solved by a worker.", nil)
+	m.dedup = func(path string) *obs.Counter {
+		return reg.Counter("neuroselect_server_dedup_total",
+			"Requests that shared an identical in-flight solve instead of running their own (by path: solve, jobs, replay).",
+			obs.Labels{"path": path})
+	}
+	m.retries = reg.Counter("neuroselect_server_retries_total",
+		"Transiently-failed async jobs re-admitted with backoff.", nil)
+	m.replayed = reg.Counter("neuroselect_server_journal_replayed_total",
+		"Pending async jobs re-admitted from the job journal at startup.", nil)
+	m.journalErr = func(op string) *obs.Counter {
+		return reg.Counter("neuroselect_server_journal_errors_total",
+			"Job-journal I/O failures by operation (append, replay, compact).", obs.Labels{"op": op})
+	}
+	m.inference = func(outcome string) *obs.Counter {
+		return reg.Counter("neuroselect_server_inference_total",
+			"Selector-inference attempts by outcome (ok, failure, breaker-open).", obs.Labels{"outcome": outcome})
+	}
+	m.breakerTo = func(state string) *obs.Counter {
+		return reg.Counter("neuroselect_server_breaker_transitions_total",
+			"Inference circuit-breaker transitions by new state.", obs.Labels{"to": state})
+	}
 	reg.GaugeFunc("neuroselect_server_queue_depth",
 		"Jobs waiting in the admission queue.", nil,
 		func() float64 { return float64(len(s.queue)) })
 	reg.GaugeFunc("neuroselect_server_queue_capacity",
 		"Admission-queue capacity (the 429 shedding threshold).", nil,
 		func() float64 { return float64(cap(s.queue)) })
+	reg.GaugeFunc("neuroselect_server_breaker_state",
+		"Inference circuit-breaker state (0 closed, 1 half-open, 2 open).", nil,
+		func() float64 { return float64(s.brk.State()) })
 	return m
 }
 
-// New builds the service and starts its worker pool. Callers own the HTTP
-// listener; see Handler.
-func New(cfg Config) *Server {
+// New builds the service, starts its worker pool, and — when journaling
+// is enabled — replays and re-admits every async job a previous process
+// left pending. Replay is synchronous: once New returns, every journaled
+// job is either queued, being solved, or shared with an identical flight.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
 	}
@@ -168,6 +259,9 @@ func New(cfg Config) *Server {
 	if cfg.JobHistory <= 0 {
 		cfg.JobHistory = 1024
 	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = 100 * time.Millisecond
+	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
@@ -177,20 +271,91 @@ func New(cfg Config) *Server {
 		queue:   make(chan *job, cfg.QueueDepth),
 		cache:   newResultCache(cfg.CacheSize),
 		jobs:    newJobStore(cfg.JobHistory),
+		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		fl:      flightTable{m: make(map[string]*job)},
 		baseCtx: ctx,
 		cancel:  cancel,
 	}
 	s.m = newServerMetrics(cfg.Registry, s)
+	s.brk.onFlip = func(to breakerState) { s.m.breakerTo(to.String()).Inc() }
+
+	var pending []*journalRecord
+	if cfg.JournalDir != "" {
+		jnl, p, err := openJournal(cfg.JournalDir, cfg.JournalCompactEvery,
+			func(op string) { s.m.journalErr(op).Inc() })
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.jnl = jnl
+		pending = p
+	}
 	for w := 0; w < cfg.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	for _, rec := range pending {
+		s.replayJob(rec)
+	}
+	return s, nil
 }
 
 // Registry returns the registry carrying the service metrics (the one
 // from Config, or the private one a nil Config.Registry was replaced by).
 func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
+
+// replayJob re-creates one journaled job and re-admits it through the
+// normal paths: singleflight first (a pending duplicate shares the
+// flight), then the admission queue with a blocking retry loop — replayed
+// jobs were already promised to a client, so they are never shed.
+func (s *Server) replayJob(rec *journalRecord) {
+	j := newJob(nil)
+	j.id = rec.ID
+	j.key = rec.Key
+	j.trace = rec.Trace
+	j.timeout = time.Duration(rec.TimeoutNS)
+	if j.timeout <= 0 || j.timeout > s.cfg.MaxTimeout {
+		j.timeout = s.cfg.MaxTimeout
+	}
+	j.ctx = s.baseCtx
+	s.jobs.AddReplayed(j, rec.ID)
+
+	fail := func(msg string) {
+		j.fail(500, msg)
+		j.finish()
+		s.jobs.NoteDone(j)
+		s.journalDone(j, "error")
+	}
+	f, err := cnf.ParseDIMACS(strings.NewReader(rec.CNF))
+	if err != nil {
+		fail("journal replay: parse DIMACS: " + err.Error())
+		return
+	}
+	j.f = f
+	if rec.Policy != "" {
+		pol, err := deletion.ByName(rec.Policy)
+		if err != nil {
+			fail("journal replay: " + err.Error())
+			return
+		}
+		j.policy = pol
+	}
+	s.m.replayed.Inc()
+	if j.key != "" {
+		if leader := s.joinFlight(j); leader != nil {
+			s.m.dedup("replay").Inc()
+			return // completed by the leader's fan-out
+		}
+	}
+	for !s.enqueue(j) {
+		if s.closed.Load() || s.draining.Load() {
+			s.abortFlight(j, 503, "server stopped during journal replay")
+			fail("server stopped during journal replay")
+			return
+		}
+		time.Sleep(2 * time.Millisecond) // queue full: workers are draining it
+	}
+}
 
 // enqueue admits a job or sheds it. It never blocks: admission control is
 // the point — a queue that would block means the service is saturated and
@@ -201,6 +366,10 @@ func (s *Server) enqueue(j *job) bool {
 	s.admitMu.RLock()
 	defer s.admitMu.RUnlock()
 	if s.closed.Load() {
+		return false
+	}
+	if err := faultpoint.Hit(faultpoint.ServerEnqueue); err != nil {
+		s.m.shed.Inc()
 		return false
 	}
 	s.pending.Add(1)
@@ -214,6 +383,23 @@ func (s *Server) enqueue(j *job) bool {
 	}
 }
 
+// readmit places a retrying job back on the queue. The job's pending slot
+// is already held, so no accounting happens here; false means the server
+// closed or the queue is momentarily full.
+func (s *Server) readmit(j *job) (ok, closed bool) {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.closed.Load() {
+		return false, true
+	}
+	select {
+	case s.queue <- j:
+		return true, false
+	default:
+		return false, false
+	}
+}
+
 // worker drains the admission queue until the queue closes (Drain) or the
 // base context aborts (Close). Each job runs with panic containment —
 // sweep's per-cell isolation applied to requests — so one poisoned
@@ -221,24 +407,118 @@ func (s *Server) enqueue(j *job) bool {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
-		s.runJob(j)
-		if j.id != "" {
-			s.jobs.NoteDone(j)
+		if s.runJob(j) {
+			continue // a retry is scheduled; it keeps the pending slot
 		}
-		s.pending.Done()
+		s.completeJob(j)
 	}
 }
 
-// runJob executes one admitted job end to end: policy selection, the
-// deadline-bounded solve, response marshaling, cache fill, metrics.
-func (s *Server) runJob(j *job) {
+// runJob executes one attempt of an admitted job and decides whether a
+// transient failure earns another: true means a backoff timer now owns
+// the job and the worker must not complete it.
+func (s *Server) runJob(j *job) (retryScheduled bool) {
+	transient := s.executeJob(j)
+	if transient && s.canRetry(j) {
+		s.scheduleRetry(j)
+		return true
+	}
+	return false
+}
+
+// canRetry gates the retry policy: only async (journaled-or-tracked) jobs
+// retry, only below the attempt cap, and never once shutdown began.
+func (s *Server) canRetry(j *job) bool {
+	return j.id != "" && j.attempt < s.cfg.MaxRetries &&
+		!s.draining.Load() && s.baseCtx.Err() == nil
+}
+
+// scheduleRetry clears the failed attempt's outcome and re-admits the job
+// after a jittered exponential backoff. If the queue is momentarily full
+// at fire time the timer re-arms at the base delay; if the server closed,
+// the job fails terminally (still owning its pending slot, so Drain
+// accounts for it either way).
+func (s *Server) scheduleRetry(j *job) {
+	j.attempt++
+	s.m.retries.Inc()
+	j.reset()
+	var fire func()
+	fire = func() {
+		ok, closed := s.readmit(j)
+		if ok {
+			return
+		}
+		if closed {
+			j.fail(503, "server stopped before the retry could run")
+			s.completeJob(j)
+			return
+		}
+		time.AfterFunc(s.cfg.RetryBase, fire)
+	}
+	time.AfterFunc(retryDelay(s.cfg.RetryBase, j.attempt), fire)
+}
+
+// retryDelay is full-jitter exponential backoff: attempt n draws
+// uniformly from [base·2^(n-1)/2, base·2^(n-1)], capped at 30s, so
+// synchronized failures do not retry in lockstep.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < 30*time.Second; i++ {
+		d *= 2
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half+1))
+}
+
+// completeJob publishes a job's terminal outcome exactly once: the flight
+// is deregistered, the result fans out to every follower, the job store
+// and journal record the completion, and the pending slot is released.
+func (s *Server) completeJob(j *job) {
+	followers := s.leaveFlight(j)
+	j.finish()
+	_, body, code, msg := j.snapshot()
+	status := "ok"
+	if code != 0 {
+		status = "error"
+	}
+	if j.id != "" {
+		s.jobs.NoteDone(j)
+		s.journalDone(j, status)
+	}
+	for _, fw := range followers {
+		if code != 0 {
+			fw.fail(code, msg)
+		} else {
+			fw.succeed(body)
+		}
+		fw.finish()
+		if fw.id != "" {
+			s.jobs.NoteDone(fw)
+			s.journalDone(fw, status)
+		}
+	}
+	s.pending.Done()
+}
+
+// executeJob runs one solve attempt end to end: policy selection, the
+// deadline-bounded solve, response marshaling, cache fill, metrics. The
+// return value classifies a failure as transient (retry-eligible):
+// injected worker faults, worker panics, and panic-contained Unknown
+// results are transient; everything else is deterministic.
+func (s *Server) executeJob(j *job) (transient bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			// Should be unreachable — solver.SolveContext contains its own
 			// panics — but a worker must survive anything a job throws.
 			j.fail(500, fmt.Sprintf("internal error: %v", r))
+			transient = true
 		}
-		j.finish()
 	}()
 	s.m.inflight.Add(1)
 	defer s.m.inflight.Add(-1)
@@ -246,15 +526,22 @@ func (s *Server) runJob(j *job) {
 	wait := time.Since(j.enqueued)
 	s.m.queueWait.Observe(wait.Seconds())
 	j.setRunning()
+	s.journalStart(j)
 
 	ctx := j.ctx
 	if err := ctx.Err(); err != nil {
-		// The client vanished while the job sat in the queue.
-		j.fail(499, "client canceled before solve started")
-		return
+		// The client vanished (sync) or the server aborted (async) while
+		// the job sat in the queue.
+		j.fail(499, "canceled before the solve started")
+		return false
 	}
 	ctx, cancelTimeout := context.WithTimeout(ctx, j.timeout)
 	defer cancelTimeout()
+
+	if err := faultpoint.Hit(faultpoint.ServerWorkerSolve); err != nil {
+		j.fail(500, "solve failed: "+err.Error())
+		return true
+	}
 
 	var tracer obs.Tracer
 	var mem *memTracer
@@ -270,11 +557,19 @@ func (s *Server) runJob(j *job) {
 	solveStart := time.Now()
 	res, err := solver.SolveContext(ctx, j.f, opts)
 	solveNS := time.Since(solveStart).Nanoseconds()
+	s.observeSolveSeconds(float64(solveNS) / 1e9)
 	if err != nil && res.Status != solver.Unknown {
 		// Non-panic internal failure (e.g. model verification); panics and
 		// deadline exhaustion arrive as error-carrying Unknown results.
 		j.fail(500, "solve failed: "+err.Error())
-		return
+		return false
+	}
+	if res.Status == solver.Unknown && errors.Is(res.Stop, solver.ErrSolvePanic) && s.canRetry(j) {
+		// A contained solver panic is transient; surface it as a failure so
+		// the retry path re-runs the attempt. Once retries are exhausted the
+		// UNKNOWN/stop=panic result below is the terminal answer.
+		j.fail(500, "solver panicked (will retry)")
+		return true
 	}
 
 	resp := &solveResponse{
@@ -301,22 +596,26 @@ func (s *Server) runJob(j *job) {
 	body, merr := marshalBody(resp)
 	if merr != nil {
 		j.fail(500, "encode response: "+merr.Error())
-		return
+		return false
 	}
 	// Cache only decided, untraced results: UNKNOWN depends on the
 	// request's own deadline, and trace payloads are per-request.
 	if j.key != "" && !j.trace && (res.Status == solver.Sat || res.Status == solver.Unsat) {
-		if ev := s.cache.Put(j.key, body, polInfo.Name); ev > 0 {
-			s.m.cacheEv("evict").Add(int64(ev))
-		}
+		s.cachePut(j.key, body, polInfo.Name)
 	}
 	j.succeed(body)
+	return false
 }
 
+// FallbackBreakerOpen is the policy fallback reason reported while the
+// inference circuit breaker is open and model calls are skipped outright.
+const FallbackBreakerOpen = "breaker-open"
+
 // selectPolicy resolves the deletion policy for one job: a client-pinned
-// ?policy= wins, then the model-driven selector, then the default policy.
-// When the job captures a trace, the selection is recorded as an
-// EventPolicy exactly as portfolio's own tracer would emit it.
+// ?policy= wins, then the model-driven selector (behind the circuit
+// breaker), then the default policy. When the job captures a trace, the
+// selection is recorded as an EventPolicy exactly as portfolio's own
+// tracer would emit it.
 func (s *Server) selectPolicy(j *job, mem *memTracer) (deletion.Policy, policyInfo) {
 	var pol deletion.Policy
 	var info policyInfo
@@ -325,14 +624,7 @@ func (s *Server) selectPolicy(j *job, mem *memTracer) (deletion.Policy, policyIn
 		pol = j.policy
 		info = policyInfo{Name: pol.Name(), Prob: -1, Fallback: "requested"}
 	case s.cfg.Selector != nil:
-		ch := s.cfg.Selector.Choose(j.f)
-		pol = ch.Policy
-		info = policyInfo{
-			Name:        pol.Name(),
-			Prob:        ch.Prob,
-			Fallback:    ch.Fallback,
-			InferenceNS: ch.Inference.Nanoseconds(),
-		}
+		pol, info = s.inferPolicy(j)
 	default:
 		pol = deletion.DefaultPolicy{}
 		info = policyInfo{Name: pol.Name(), Prob: -1, Fallback: "no-model"}
@@ -349,15 +641,156 @@ func (s *Server) selectPolicy(j *job, mem *memTracer) (deletion.Policy, policyIn
 	return pol, info
 }
 
+// inferPolicy runs the selector behind the circuit breaker. Inference
+// failures (the portfolio fallback vocabulary, injected faults, or
+// latency above BreakerMaxLatency) feed the breaker; an open breaker
+// skips the model call entirely and degrades to the default policy.
+func (s *Server) inferPolicy(j *job) (deletion.Policy, policyInfo) {
+	if !s.brk.Allow() {
+		s.m.inference(FallbackBreakerOpen).Inc()
+		pol := deletion.DefaultPolicy{}
+		return pol, policyInfo{Name: pol.Name(), Prob: -1, Fallback: FallbackBreakerOpen}
+	}
+	if err := faultpoint.Hit(faultpoint.ServerInference); err != nil {
+		s.brk.Record(false)
+		s.m.inference("failure").Inc()
+		pol := deletion.DefaultPolicy{}
+		return pol, policyInfo{Name: pol.Name(), Prob: -1, Fallback: portfolio.FallbackError}
+	}
+	ch := s.cfg.Selector.Choose(j.f)
+	failed := ch.Fallback == portfolio.FallbackPanic ||
+		ch.Fallback == portfolio.FallbackTimeout ||
+		ch.Fallback == portfolio.FallbackError
+	if !failed && s.cfg.BreakerMaxLatency > 0 && ch.Inference > s.cfg.BreakerMaxLatency {
+		failed = true // latency spike: the model answered too slowly to trust
+	}
+	s.brk.Record(!failed)
+	if failed {
+		s.m.inference("failure").Inc()
+	} else {
+		s.m.inference("ok").Inc()
+	}
+	return ch.Policy, policyInfo{
+		Name:        ch.Policy.Name(),
+		Prob:        ch.Prob,
+		Fallback:    ch.Fallback,
+		InferenceNS: ch.Inference.Nanoseconds(),
+	}
+}
+
+// cacheGet consults the result cache; an injected cache fault degrades to
+// a miss, never an error.
+func (s *Server) cacheGet(key string) (*cacheEntry, bool) {
+	if err := faultpoint.Hit(faultpoint.ServerCacheGet); err != nil {
+		return nil, false
+	}
+	return s.cache.Get(key)
+}
+
+// cachePut fills the result cache; an injected cache fault skips the fill.
+func (s *Server) cachePut(key string, body []byte, policy string) {
+	if err := faultpoint.Hit(faultpoint.ServerCachePut); err != nil {
+		return
+	}
+	if ev := s.cache.Put(key, body, policy); ev > 0 {
+		s.m.cacheEv("evict").Add(int64(ev))
+	}
+}
+
+// journalSubmit records a freshly admitted async job. Must run before the
+// client's 202 so a crash after acknowledgment never loses the job.
+func (s *Server) journalSubmit(j *job) {
+	if s.jnl == nil || j.id == "" {
+		return
+	}
+	rec := &journalRecord{
+		Type:      "submit",
+		ID:        j.id,
+		Key:       j.key,
+		TimeoutNS: int64(j.timeout),
+		Trace:     j.trace,
+	}
+	if j.policy != nil {
+		rec.Policy = j.policy.Name()
+	}
+	var buf strings.Builder
+	if err := cnf.WriteDIMACS(&buf, j.f); err != nil {
+		s.m.journalErr("append").Inc()
+		return
+	}
+	rec.CNF = buf.String()
+	s.jnl.append(rec)
+}
+
+// journalStart records one solve attempt of an async job.
+func (s *Server) journalStart(j *job) {
+	if s.jnl == nil || j.id == "" {
+		return
+	}
+	s.jnl.append(&journalRecord{Type: "start", ID: j.id, Attempt: j.attempt})
+}
+
+// journalDone records an async job's terminal state.
+func (s *Server) journalDone(j *job, status string) {
+	if s.jnl == nil || j.id == "" {
+		return
+	}
+	s.jnl.append(&journalRecord{Type: "done", ID: j.id, Status: status})
+}
+
+// observeSolveSeconds feeds the smoothed solve-time estimate behind the
+// Retry-After hint (EWMA, α=0.2).
+func (s *Server) observeSolveSeconds(sec float64) {
+	for {
+		old := s.solveEWMA.Load()
+		prev := math.Float64frombits(old)
+		next := sec
+		if prev > 0 {
+			next = 0.8*prev + 0.2*sec
+		}
+		if s.solveEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds derives the Retry-After hint for a shed request from
+// the live backlog: the queued jobs ahead of the client times the
+// smoothed per-solve cost, divided across the pool, jittered ±20% so a
+// synchronized flock of shed clients does not return as a thundering
+// herd. Clamped to [1, 120] whole seconds.
+func (s *Server) retryAfterSeconds() int {
+	mean := math.Float64frombits(s.solveEWMA.Load())
+	if mean <= 0 {
+		mean = 1 // no completed solve yet: assume a second
+	}
+	backlog := float64(len(s.queue) + 1)
+	est := backlog * mean / float64(s.cfg.Workers)
+	est *= 0.8 + 0.4*rand.Float64()
+	sec := int(math.Ceil(est))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 120 {
+		sec = 120
+	}
+	return sec
+}
+
 // Draining reports whether the server has stopped admitting work.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Drain gracefully shuts the service down: new submissions are refused
-// with 503 immediately, queued and in-flight jobs run to completion, and
-// Drain returns when the pool is idle or ctx expires (in-flight solves
-// still run under their own deadlines either way). Call before shutting
-// the HTTP listener so sync waiters get their responses.
+// with 503 immediately, queued and in-flight jobs (including scheduled
+// retries) run to completion, and Drain returns when the pool is idle or
+// ctx expires (in-flight solves still run under their own deadlines
+// either way). On success the journal is compacted down to nothing and
+// closed. Call before shutting the HTTP listener so sync waiters get
+// their responses.
 func (s *Server) Drain(ctx context.Context) error {
+	// A Delay fault here simulates a slow drain for the chaos harness;
+	// errors are deliberately ignored — drain must always proceed.
+	_ = faultpoint.Hit(faultpoint.ServerDrain)
 	s.draining.Store(true)
 	done := make(chan struct{})
 	go func() {
@@ -367,6 +800,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 		s.stopWorkers()
+		s.closeJournal()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -379,6 +813,7 @@ func (s *Server) Drain(ctx context.Context) error {
 func (s *Server) Close() {
 	s.cancel()
 	s.stopWorkers()
+	s.closeJournal()
 }
 
 // stopWorkers closes the queue exactly once and joins the pool.
@@ -390,6 +825,13 @@ func (s *Server) stopWorkers() {
 	}
 	s.admitMu.Unlock()
 	s.wg.Wait()
+}
+
+// closeJournal compacts and closes the journal once the pool is idle.
+func (s *Server) closeJournal() {
+	if s.jnl != nil {
+		s.jnl.Close()
+	}
 }
 
 // memTracer buffers the events of one solve for the ?trace=1 response

@@ -42,7 +42,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.MaxTimeout == 0 {
 		cfg.MaxTimeout = 60 * time.Second
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		s.Close()
@@ -299,12 +302,14 @@ func TestQueueFullSheds429(t *testing.T) {
 	hard := phpDIMACS(t, 10)
 
 	// Occupy the single worker, then fill the queue's one slot. Async
-	// submissions return immediately, so no client goroutines needed.
-	id1 := submitJob(t, ts.URL, hard+"c job1\n")
+	// submissions return immediately, so no client goroutines needed. The
+	// instances must be genuinely distinct — identical formulas would
+	// share the first job's flight (singleflight) instead of queueing.
+	id1 := submitJob(t, ts.URL, hard)
 	waitJobState(t, ts.URL, id1, JobRunning)
-	submitJob(t, ts.URL, hard+"c job2\n")
+	submitJob(t, ts.URL, phpDIMACS(t, 9))
 
-	resp := post(t, ts.URL+"/v1/jobs", hard+"c job3\n")
+	resp := post(t, ts.URL+"/v1/jobs", phpDIMACS(t, 8))
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status = %d, want 429", resp.StatusCode)
@@ -316,8 +321,8 @@ func TestQueueFullSheds429(t *testing.T) {
 	if shed.Value() == 0 {
 		t.Error("shed counter did not move")
 	}
-	// The sync endpoint sheds identically.
-	resp2 := post(t, ts.URL+"/v1/solve", hard+"c job4\n")
+	// The sync endpoint sheds identically (again a distinct instance).
+	resp2 := post(t, ts.URL+"/v1/solve", phpDIMACS(t, 7))
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusTooManyRequests {
 		t.Errorf("sync shed status = %d, want 429", resp2.StatusCode)

@@ -7,11 +7,12 @@
 #
 # Usage: ./scripts/bench.sh [benchtime]      (default 1s; use e.g. 3s for
 # lower-variance numbers, 1x for a smoke run). Writes BENCH_solver.json in
-# the repo root and echoes the raw benchmark lines as they arrive.
+# the repo root (override the path with BENCH_OUT=..., as check.sh's
+# regression gate does) and echoes the raw benchmark lines as they arrive.
 set -eu
 
 BENCHTIME="${1:-1s}"
-OUT="BENCH_solver.json"
+OUT="${BENCH_OUT:-BENCH_solver.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 

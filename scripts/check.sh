@@ -3,10 +3,13 @@
 # concurrency-bearing packages (portfolio racing, the sweep engine, the
 # experiments runner, solver cancellation, registry scrapes, the HTTP
 # server), a live metrics-endpoint smoke test, an end-to-end smoke of the
-# solving service (cache hit, queue shedding, SIGTERM drain), two
-# documentation gates (package comments, README flag freshness), and a
-# coverage gate on the experiments package. Run from the repo root via
-# `make check` or `./scripts/check.sh`.
+# solving service (cache hit, queue shedding, SIGTERM drain), a chaos
+# smoke (kill -9 mid-solve, restart over the same -journal directory,
+# the job must still complete), two documentation gates (package
+# comments, README flag freshness), a benchmark regression gate against
+# BENCH_solver.json (skip with BENCH_DELTA_SKIP=1), and a coverage gate
+# on the experiments package. Run from the repo root via `make check` or
+# `./scripts/check.sh`.
 set -eu
 
 # Statement-coverage floor for neuroselect/internal/experiments. The
@@ -192,17 +195,20 @@ cmp -s "$SMOKE_DIR/r1.json" "$SMOKE_DIR/r3.json" || {
 	exit 1
 }
 
-# Queue overflow: flood 2 workers + 1 queue slot with hard jobs until the
-# admission queue sheds a request with 429.
+# Queue overflow: flood 2 workers + 1 queue slot with hard *distinct*
+# jobs until the admission queue sheds a request with 429. Identical
+# uploads would not do: they singleflight-share the first job instead of
+# queueing behind it.
+for n in 10 11 13 14; do
+	go run ./cmd/satgen -family pigeonhole -n "$n" > "$SMOKE_DIR/php$n.cnf"
+done
 shed=""
-i=0
-while [ -z "$shed" ] && [ "$i" -lt 8 ]; do
+for n in 12 10 11 13 14; do
 	code="$(curl -s -o /dev/null -w '%{http_code}' \
-		--data-binary @"$SMOKE_DIR/php12.cnf" "http://$api/v1/jobs?timeout=5s")"
+		--data-binary @"$SMOKE_DIR/php$n.cnf" "http://$api/v1/jobs?timeout=5s")"
 	if [ "$code" = 429 ]; then
 		shed=yes
 	fi
-	i=$((i + 1))
 done
 if [ -z "$shed" ]; then
 	echo "serve smoke: FAIL — queue overflow never returned 429"
@@ -258,6 +264,151 @@ if [ "$rc" != 0 ]; then
 	exit 1
 fi
 echo "serve smoke: concurrent solves, cache hit, 429 shedding, SIGTERM drain all ok"
+
+echo "== chaos smoke (kill -9 crash recovery over the job journal)"
+JDIR="$SMOKE_DIR/journal"
+go run ./cmd/satgen -family pigeonhole -n 9 > "$SMOKE_DIR/php9.cnf"
+"$SMOKE_DIR/neuroselect-serve" -addr 127.0.0.1:0 -workers 1 -journal "$JDIR" \
+	> "$SMOKE_DIR/serve2.txt" 2>&1 &
+SERVE_PID=$!
+api=""
+i=0
+while [ -z "$api" ] && [ "$i" -lt 100 ]; do
+	api="$(sed -n 's/^solving API listening on //p' "$SMOKE_DIR/serve2.txt" 2>/dev/null)"
+	[ -n "$api" ] || sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$api" ]; then
+	echo "chaos smoke: FAIL — journaled server never announced its listen address"
+	exit 1
+fi
+# An 8s-bounded hard instance: long enough to be mid-solve when killed,
+# bounded enough that the replayed attempt finishes promptly.
+jid="$(curl -s --data-binary @"$SMOKE_DIR/php9.cnf" \
+	"http://$api/v1/jobs?timeout=8s" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+if [ -z "$jid" ]; then
+	echo "chaos smoke: FAIL — async submit was not acknowledged"
+	exit 1
+fi
+running=""
+i=0
+while [ -z "$running" ] && [ "$i" -lt 100 ]; do
+	case "$(curl -s "http://$api/v1/jobs/$jid")" in
+	*'"status":"running"'* | *'"status":"done"'*) running=yes ;;
+	*) sleep 0.1 ;;
+	esac
+	i=$((i + 1))
+done
+if [ -z "$running" ]; then
+	echo "chaos smoke: FAIL — journaled job never started running"
+	exit 1
+fi
+# Crash: no drain, no journal close — the acknowledged job must survive.
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+"$SMOKE_DIR/neuroselect-serve" -addr 127.0.0.1:0 -workers 1 -journal "$JDIR" \
+	> "$SMOKE_DIR/serve3.txt" 2>&1 &
+SERVE_PID=$!
+api=""
+i=0
+while [ -z "$api" ] && [ "$i" -lt 100 ]; do
+	api="$(sed -n 's/^solving API listening on //p' "$SMOKE_DIR/serve3.txt" 2>/dev/null)"
+	[ -n "$api" ] || sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$api" ]; then
+	echo "chaos smoke: FAIL — restarted server never announced its listen address"
+	exit 1
+fi
+done_poll=""
+i=0
+while [ -z "$done_poll" ] && [ "$i" -lt 200 ]; do
+	poll="$(curl -s "http://$api/v1/jobs/$jid" 2>/dev/null || true)"
+	case "$poll" in
+	*'"status":"done"'*) done_poll="$poll" ;;
+	*) sleep 0.1 ;;
+	esac
+	i=$((i + 1))
+done
+case "$done_poll" in
+*'"result"'*) : ;;
+*)
+	echo "chaos smoke: FAIL — replayed job $jid never completed: $done_poll"
+	exit 1
+	;;
+esac
+kill -TERM "$SERVE_PID"
+rc=0
+wait "$SERVE_PID" || rc=$?
+SERVE_PID=""
+if [ "$rc" != 0 ]; then
+	echo "chaos smoke: FAIL — restarted server exited $rc after drain"
+	exit 1
+fi
+# A clean drain compacts the journal down to nothing pending.
+if grep -q '"type":"submit"' "$JDIR/journal.jsonl" 2>/dev/null; then
+	echo "chaos smoke: FAIL — journal still holds pending submits after drain"
+	exit 1
+fi
+echo "chaos smoke: kill -9 mid-solve, replay after restart, clean compaction all ok"
+
+echo "== benchmark regression gate (BENCH_solver.json delta)"
+if [ "${BENCH_DELTA_SKIP:-0}" = 1 ]; then
+	echo "bench delta gate: skipped (BENCH_DELTA_SKIP=1)"
+else
+	# Re-measure with the same benchtime the baseline was recorded at —
+	# comparing across benchtimes mistakes amortization effects for
+	# regressions.
+	base_benchtime="$(sed -n 's/.*"benchtime": "\([^"]*\)".*/\1/p' BENCH_solver.json)"
+	BENCH_OUT="$SMOKE_DIR/bench_now.json" ./scripts/bench.sh "${base_benchtime:-1s}" > /dev/null
+	extract_bench() {
+		sed -n 's/.*"name": "\([^"]*\)".*"ns_per_op": \([0-9.e+]*\).*/\1 \2/p' "$1"
+	}
+	extract_bench BENCH_solver.json > "$SMOKE_DIR/bench_base.txt"
+	extract_bench "$SMOKE_DIR/bench_now.json" > "$SMOKE_DIR/bench_cur.txt"
+	# Gate only benchmarks whose baseline is >= 100µs — below that, scheduler
+	# noise swamps a 10% threshold. Ratios are normalized by the median ratio
+	# across all gated benchmarks: when the whole machine is slower (the gate
+	# runs right after the race suite and smokes), every benchmark shifts by
+	# roughly the same factor and the median absorbs it, while a regression in
+	# one code path still sticks out relative to the rest. A median ratio over
+	# medcap is an across-the-board slowdown no load story explains, and fails
+	# outright. BENCH_solver.json is the committed baseline; regenerate it with
+	# ./scripts/bench.sh when a slowdown is intentional and explained.
+	awk -v floor=100000 -v tol=1.10 -v medcap=1.50 '
+		NR == FNR { base[$1] = $2; next }
+		($1 in base) && base[$1] >= floor {
+			gated++
+			name[gated] = $1
+			ratio[gated] = $2 / base[$1]
+			cur[gated] = $2
+		}
+		END {
+			if (gated == 0) { print "bench delta gate: no gated benchmarks matched the baseline"; exit 1 }
+			for (i = 1; i <= gated; i++) sorted[i] = ratio[i]
+			for (i = 2; i <= gated; i++)
+				for (j = i; j > 1 && sorted[j-1] > sorted[j]; j--) {
+					t = sorted[j]; sorted[j] = sorted[j-1]; sorted[j-1] = t
+				}
+			med = (gated % 2) ? sorted[(gated + 1) / 2] \
+				: (sorted[gated / 2] + sorted[gated / 2 + 1]) / 2
+			if (med > medcap) {
+				printf "bench delta gate: FAIL — median slowdown +%.1f%% exceeds %.0f%% cap\n", \
+					100 * (med - 1), 100 * (medcap - 1)
+				fail = 1
+			}
+			norm = (med > 1) ? med : 1   # never relax the gate on a fast run
+			for (i = 1; i <= gated; i++)
+				if (ratio[i] > norm * tol) {
+					printf "bench delta gate: FAIL — %s regressed %.0f -> %.0f ns/op (+%.1f%% vs +%.1f%% median)\n", \
+						name[i], base[name[i]], cur[i], 100 * (ratio[i] - 1), 100 * (med - 1)
+					fail = 1
+				}
+			if (fail) exit 1
+			printf "bench delta gate: %d benchmarks within %.0f%% of baseline (median shift %+.1f%%)\n", \
+				gated, 100 * (tol - 1), 100 * (med - 1)
+		}' "$SMOKE_DIR/bench_base.txt" "$SMOKE_DIR/bench_cur.txt"
+fi
 
 echo "== coverage (experiments + sweep engine)"
 COVER_PROFILE="$(mktemp)"
