@@ -31,6 +31,7 @@ import (
 	"neuroselect"
 	"neuroselect/internal/cnf"
 	"neuroselect/internal/obs"
+	"neuroselect/internal/portfolio"
 	"neuroselect/internal/solver"
 )
 
@@ -70,8 +71,26 @@ func run() int {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /metrics.json, /healthz and /debug/pprof on this address during the solve (e.g. 127.0.0.1:9090; :0 picks a port, printed as a comment)")
 	tracePath := flag.String("trace", "", "stream per-window solver events to this file as JSONL")
 	statsJSON := flag.Bool("stats-json", false, "print the final solver statistics as one JSON object on the last stdout line")
+	portfolioN := flag.Int("portfolio", 0, "solve with an N-worker shared-clause portfolio (0 = single solver)")
+	deterministic := flag.Bool("deterministic", false, "with -portfolio: lockstep exchange rounds, output byte-identical for any worker count")
 	flag.Usage = usage
 	flag.Parse()
+
+	if *portfolioN > 0 {
+		// The portfolio carries its own per-worker policies, and neither the
+		// DRAT writer nor the preprocessor is threaded through it.
+		switch {
+		case *policy != "default":
+			return fail(errors.New("-policy cannot be combined with -portfolio (workers carry their own policies)"))
+		case *proofPath != "":
+			return fail(errors.New("-proof cannot be combined with -portfolio"))
+		case *simplify:
+			return fail(errors.New("-simplify cannot be combined with -portfolio"))
+		}
+	}
+	if *deterministic && *portfolioN <= 0 {
+		return fail(errors.New("-deterministic requires -portfolio"))
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -100,8 +119,9 @@ func run() int {
 	}
 
 	var tracers []obs.Tracer
+	var reg *obs.Registry
 	if *metricsAddr != "" {
-		reg := obs.NewRegistry()
+		reg = obs.NewRegistry()
 		obs.RegisterProcessMetrics(reg, time.Now())
 		srv, err := obs.Serve(*metricsAddr, reg)
 		if err != nil {
@@ -138,6 +158,15 @@ func run() int {
 	f, err := cnf.ParseDIMACS(in)
 	if err != nil {
 		return fail(err)
+	}
+	if *portfolioN > 0 {
+		return runPortfolio(f, portfolio.Config{
+			Workers:       *portfolioN,
+			Deterministic: *deterministic,
+			MaxConflicts:  *conflicts,
+			Obs:           reg,
+			Tracer:        obs.Multi(tracers...),
+		}, *timeout, *stats, *model, *statsJSON)
 	}
 	cfg := neuroselect.SolveConfig{
 		Policy:       *policy,

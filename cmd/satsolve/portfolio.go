@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/portfolio"
+	"neuroselect/internal/solver"
+)
+
+// runPortfolio is the -portfolio solve path: an N-worker shared-clause
+// portfolio instead of a single solver. Deterministic mode prints no
+// wall-clock quantity anywhere, so two runs of
+//
+//	satsolve -portfolio N -deterministic file.cnf
+//
+// produce byte-identical output for any N — the property the check.sh
+// smoke diffs.
+func runPortfolio(f *cnf.Formula, cfg portfolio.Config, timeout time.Duration, stats, model, statsJSON bool) int {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	rep, err := portfolio.SolveParallelContext(ctx, f, cfg)
+	if err != nil {
+		return fail(err)
+	}
+	if stats {
+		st := rep.Result.Stats
+		fmt.Printf("c portfolio workers=%d deterministic=%v rounds=%d winner=%q\n",
+			rep.Workers, rep.Deterministic, rep.Rounds, rep.Winner)
+		for _, ex := range rep.Exchange {
+			fmt.Printf("c worker %d config=%s exported=%d imported=%d filtered=%d dropped=%d\n",
+				ex.Worker, ex.Config, ex.Exported, ex.Imported, ex.Filtered, ex.Dropped)
+		}
+		fmt.Printf("c decisions=%d propagations=%d conflicts=%d restarts=%d learned=%d imported=%d\n",
+			st.Decisions, st.Propagations, st.Conflicts, st.Restarts, st.Learned, st.Imported)
+	}
+	code := 0
+	switch rep.Result.Status {
+	case solver.Sat:
+		fmt.Println("s SATISFIABLE")
+		if model {
+			fmt.Print("v")
+			for v := 1; v <= f.NumVars; v++ {
+				l := v
+				if !rep.Result.Model[v] {
+					l = -v
+				}
+				fmt.Printf(" %d", l)
+			}
+			fmt.Println(" 0")
+		}
+		code = 10
+	case solver.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		code = 20
+	default:
+		if c := stopComment(rep.Result.Stop); c != "" {
+			fmt.Println("c " + c)
+		}
+		fmt.Println("s UNKNOWN")
+	}
+	if statsJSON {
+		if err := printPortfolioJSON(rep); err != nil {
+			return fail(err)
+		}
+	}
+	return code
+}
+
+// printPortfolioJSON emits the portfolio statistics as one JSON object on
+// stdout: the single-solver -stats-json schema (status/policy/stop/stats)
+// extended, append-only, with a "portfolio" block. prop_freq_hash is the
+// winner's propagation-frequency digest and pseudo_time_us its propagation
+// count — both reproducible fingerprints; wall-clock time is deliberately
+// absent.
+func printPortfolioJSON(rep portfolio.ParallelReport) error {
+	doc := struct {
+		Status    string       `json:"status"`
+		Policy    string       `json:"policy,omitempty"`
+		Stop      string       `json:"stop,omitempty"`
+		Stats     solver.Stats `json:"stats"`
+		Portfolio struct {
+			Workers       int                       `json:"workers"`
+			Deterministic bool                      `json:"deterministic"`
+			Winner        string                    `json:"winner,omitempty"`
+			WinnerIndex   int                       `json:"winner_index"`
+			Rounds        int                       `json:"rounds"`
+			PropFreqHash  string                    `json:"prop_freq_hash,omitempty"`
+			PseudoTimeUS  int64                     `json:"pseudo_time_us"`
+			Exchange      []portfolio.ExchangeStats `json:"exchange"`
+			Failures      []string                  `json:"failures,omitempty"`
+		} `json:"portfolio"`
+	}{Status: rep.Result.Status.String(), Policy: rep.Winner, Stats: rep.Result.Stats}
+	if rep.Result.Stop != nil {
+		doc.Stop = rep.Result.Stop.Error()
+	}
+	doc.Portfolio.Workers = rep.Workers
+	doc.Portfolio.Deterministic = rep.Deterministic
+	doc.Portfolio.Winner = rep.Winner
+	doc.Portfolio.WinnerIndex = rep.WinnerIndex
+	doc.Portfolio.Rounds = rep.Rounds
+	if rep.WinnerIndex >= 0 {
+		doc.Portfolio.PropFreqHash = fmt.Sprintf("%016x", rep.PropFreqHash)
+	}
+	doc.Portfolio.PseudoTimeUS = int64(rep.PseudoTime / time.Microsecond)
+	doc.Portfolio.Exchange = rep.Exchange
+	doc.Portfolio.Failures = rep.Failures
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(b))
+	return err
+}

@@ -26,11 +26,12 @@ func determinismRunner(workers int) *Runner {
 }
 
 // determinismExperiments is every experiment under the byte-identical
-// guarantee. ext-selectors is excluded: its 2-way portfolio race is
-// scheduling-dependent by construction.
+// guarantee — since the 2-way race gained a lockstep deterministic mode
+// (portfolio.RaceDeterministic), that is all of them, ext-selectors
+// included.
 var determinismExperiments = []string{
 	"fig3", "fig5", "table1", "fig4", "table2", "fig7", "table3",
-	"ext-policies", "ext-alpha", "ext-scaling",
+	"ext-policies", "ext-selectors", "ext-alpha", "ext-scaling",
 }
 
 // renderAll runs every guaranteed experiment and returns the concatenated

@@ -57,8 +57,11 @@ func (r *Runner) Selectors() (SelectorsResult, error) {
 	items := c.Test.Items
 	// Predictions run serially up front (both predictors share model state);
 	// the expensive part — one 2-worker race per instance — is sharded
-	// across the sweep engine. Race outcomes depend on scheduling, so this
-	// experiment is outside the byte-identical determinism guarantee.
+	// across the sweep engine. Free-running race outcomes depend on
+	// scheduling; in Deterministic mode the race runs as a lockstep
+	// 2-worker portfolio instead, so the whole experiment is under the
+	// byte-identical guarantee and RaceWall reports propagation
+	// pseudo-time.
 	for _, it := range items {
 		out.Logistic.Add(logit.Predict(it.Inst.F) >= 0.5, it.Label == 1)
 		out.NeuroSelect.Add(sel.Model.Predict(it.Inst.F) >= 0.5, it.Label == 1)
@@ -79,6 +82,12 @@ func (r *Runner) Selectors() (SelectorsResult, error) {
 	}
 	races, errs := sweepCells(r, "ext-selectors", len(items),
 		func(ctx context.Context, i int) (portfolio.RaceReport, error) {
+			if r.Deterministic {
+				// One OS worker per cell: the instances are already sharded
+				// across the sweep pool, and the race outcome is identical
+				// for any inner worker count anyway.
+				return portfolio.RaceDeterministic(ctx, items[i].Inst.F, budget, 1)
+			}
 			return portfolio.RaceContext(ctx, items[i].Inst.F, budget)
 		})
 	if err := sweep.FirstError(errs); err != nil {

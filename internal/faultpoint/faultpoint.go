@@ -52,6 +52,21 @@ const (
 	// RaceWorker fires at the start of each portfolio.Race worker
 	// goroutine.
 	RaceWorker Site = "portfolio.race.worker"
+	// PortfolioWorker fires at the start of each parallel-portfolio worker
+	// (free-running mode: once per worker goroutine; deterministic mode:
+	// once per live worker per exchange round). An injected error or panic
+	// fails that worker; the portfolio continues on the survivors.
+	PortfolioWorker Site = "portfolio.parallel.worker"
+	// PortfolioExport fires in the clause-exchange export hook, once per
+	// learned clause offered for sharing. An injected error drops the
+	// clause (degraded exchange); a panic kills the exporting worker and
+	// is contained by the portfolio.
+	PortfolioExport Site = "portfolio.exchange.export"
+	// PortfolioImport fires in the clause-exchange import drain, once per
+	// batch. An injected error drops the pending batch (degraded
+	// exchange); a panic kills the importing worker and is contained by
+	// the portfolio.
+	PortfolioImport Site = "portfolio.exchange.import"
 	// ExperimentInstance fires once per test instance in the experiments
 	// runner's solving loops.
 	ExperimentInstance Site = "experiments.instance"

@@ -35,6 +35,11 @@ const (
 	EventSolveEnd = "solve_end"
 	// EventPolicy records one portfolio policy-selection decision.
 	EventPolicy = "policy"
+	// EventExchange records one portfolio worker's cumulative clause-
+	// exchange totals at an exchange-round boundary (deterministic mode:
+	// once per worker per round; free-running mode: once per worker when
+	// the portfolio drains).
+	EventExchange = "exchange"
 )
 
 // Event is one trace record. The struct is the JSONL schema: field tags are
@@ -83,6 +88,14 @@ type Event struct {
 	Prob        float64 `json:"prob,omitempty"`
 	Fallback    string  `json:"fallback,omitempty"`
 	InferenceNS int64   `json:"inference_ns,omitempty"`
+
+	// Clause-exchange totals (exchange): cumulative per portfolio worker.
+	Round    int   `json:"round,omitempty"`
+	Worker   int   `json:"worker,omitempty"`
+	Exported int64 `json:"exported,omitempty"`
+	Imported int64 `json:"imported,omitempty"`
+	Filtered int64 `json:"filtered,omitempty"`
+	Dropped  int64 `json:"dropped,omitempty"`
 }
 
 // Tracer receives structured search events. Implementations may retain the

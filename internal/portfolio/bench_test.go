@@ -1,0 +1,41 @@
+package portfolio
+
+import (
+	"testing"
+
+	"neuroselect/internal/gen"
+	"neuroselect/internal/solver"
+)
+
+// The BenchmarkPortfolio family measures whole portfolio solves on a
+// fixed UNSAT instance (php-7): free-running throughput, lockstep
+// deterministic rounds, and the free-running mode with exchange disabled
+// (isolating what clause sharing costs and buys). bench.sh emits these
+// into BENCH_solver.json under the "portfolio" family.
+
+func benchPortfolio(b *testing.B, cfg Config) {
+	b.Helper()
+	f := gen.Pigeonhole(7).F
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := SolveParallel(f, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Result.Status != solver.Unsat {
+			b.Fatalf("got %v, want UNSAT", rep.Result.Status)
+		}
+	}
+}
+
+func BenchmarkPortfolioFree4(b *testing.B) {
+	benchPortfolio(b, Config{Workers: 4})
+}
+
+func BenchmarkPortfolioFree4NoExchange(b *testing.B) {
+	benchPortfolio(b, Config{Workers: 4, NoExchange: true})
+}
+
+func BenchmarkPortfolioLockstep4(b *testing.B) {
+	benchPortfolio(b, Config{Deterministic: true, Workers: 4})
+}

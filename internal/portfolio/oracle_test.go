@@ -1,0 +1,106 @@
+package portfolio
+
+import (
+	"testing"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/gen"
+	"neuroselect/internal/solver"
+)
+
+// enumerate exhaustively decides a small formula — the ground-truth oracle
+// for the portfolio differential suite. (Mirrors the solver package's
+// test-local enumerator, which is not exported.)
+func enumerate(f *cnf.Formula) bool {
+	n := f.NumVars
+	if n > 20 {
+		panic("enumerate: formula too large for the oracle suite")
+	}
+	a := cnf.NewAssignment(n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			a[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if a.Satisfies(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// oracleInstances returns one small (≤20 variables) instance per generator
+// family — the same families the solver's oracle suite covers.
+func oracleInstances() []gen.Instance {
+	var out []gen.Instance
+	for seed := int64(1); seed <= 3; seed++ {
+		out = append(out,
+			gen.RandomKSAT(12, 50, 3, seed),
+			gen.CommunityKSAT(12, 50, 3, 2, 0.85, seed),
+			gen.PowerLawKSAT(12, 52, 3, 0.9, seed),
+			gen.ParityChain(8, 5, 3, true, seed),
+			gen.ParityChain(8, 5, 3, false, seed),
+			gen.Tseitin(6, 3, true, seed),
+			gen.Tseitin(6, 3, false, seed),
+			gen.GraphColoring(5, 10, 3, seed),
+			gen.SubsetSum(2, 9, true, seed),
+			gen.SubsetSum(2, 9, false, seed),
+			gen.Miter(3, 4, false, seed),
+			gen.Miter(3, 4, true, seed),
+		)
+	}
+	out = append(out,
+		gen.Pigeonhole(3),
+		gen.NQueens(4),
+		gen.BMCCounter(3, 2, 7),
+	)
+	return out
+}
+
+// TestPortfolioOracleDifferential cross-checks the N-worker portfolio —
+// free-running, clause exchange on — against exhaustive enumeration on
+// every generator family, for N in {2, 4, 8}: the portfolio verdict must
+// match the oracle and the generator's by-construction expectation, and
+// every SAT model must actually satisfy its formula. Run under -race by
+// scripts/check.sh, this is also the exchange path's concurrency test.
+func TestPortfolioOracleDifferential(t *testing.T) {
+	for _, inst := range oracleInstances() {
+		inst := inst
+		t.Run(inst.Name, func(t *testing.T) {
+			if inst.F.NumVars > 20 {
+				t.Fatalf("oracle instance too large: %d vars", inst.F.NumVars)
+			}
+			oracleSat := enumerate(inst.F)
+			switch inst.Expected {
+			case gen.ExpectSat:
+				if !oracleSat {
+					t.Fatal("generator promises SAT but enumeration finds no model")
+				}
+			case gen.ExpectUnsat:
+				if oracleSat {
+					t.Fatal("generator promises UNSAT but enumeration finds a model")
+				}
+			}
+			for _, n := range []int{2, 4, 8} {
+				rep, err := SolveParallel(inst.F, Config{Workers: n})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", n, err)
+				}
+				switch rep.Result.Status {
+				case solver.Sat:
+					if !oracleSat {
+						t.Fatalf("workers=%d: portfolio says SAT, oracle says UNSAT", n)
+					}
+					if !rep.Result.Model.Satisfies(inst.F) {
+						t.Fatalf("workers=%d: reported model does not satisfy the formula", n)
+					}
+				case solver.Unsat:
+					if oracleSat {
+						t.Fatalf("workers=%d: portfolio says UNSAT, oracle says SAT", n)
+					}
+				default:
+					t.Fatalf("workers=%d: portfolio undecided on an unbounded solve", n)
+				}
+			}
+		})
+	}
+}

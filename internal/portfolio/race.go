@@ -101,3 +101,30 @@ func RaceContext(ctx context.Context, f *cnf.Formula, maxConflicts int64) (RaceR
 	rep.Winner = chosen.policy
 	return rep, nil
 }
+
+// RaceDeterministic is the reproducible analogue of RaceContext: the same
+// default-vs-frequency race, run as a 2-worker deterministic portfolio
+// with clause exchange disabled (preserving the independent virtual-best
+// semantics) and undiversified experiment-standard options. osWorkers sets
+// only the OS parallelism; the outcome — winner, result, stats — is a pure
+// function of the formula and budget, byte-identical for any worker count.
+// WallTime is pseudo-time: the winner's propagation count at 1 propagation
+// ≡ 1µs, matching the experiment harness's deterministic clock.
+func RaceDeterministic(ctx context.Context, f *cnf.Formula, maxConflicts int64, osWorkers int) (RaceReport, error) {
+	par, err := SolveParallelContext(ctx, f, Config{
+		Deterministic: true,
+		Workers:       osWorkers,
+		Ensemble:      2,
+		NoExchange:    true,
+		NoDiversify:   true,
+		MaxConflicts:  maxConflicts,
+	})
+	rep := RaceReport{Result: par.Result, WallTime: par.PseudoTime, Failures: par.Failures}
+	if err != nil {
+		return rep, err
+	}
+	if par.WinnerIndex >= 0 {
+		rep.Winner = [2]string{"default", "frequency"}[par.WinnerIndex]
+	}
+	return rep, nil
+}

@@ -130,6 +130,26 @@ func (s *Server) parseJob(w http.ResponseWriter, r *http.Request) (*job, *httpEr
 	default:
 		return nil, badRequest("bad trace %q: want 1 or 0", v)
 	}
+	if v := q.Get("portfolio"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > maxPortfolioWorkers {
+			return nil, badRequest("bad portfolio %q: want a worker count in 1..%d", v, maxPortfolioWorkers)
+		}
+		if j.policy != nil {
+			return nil, badRequest("?policy= cannot be combined with ?portfolio= (workers carry their own policies)")
+		}
+		j.portfolio = n
+	}
+	switch v := q.Get("deterministic"); v {
+	case "", "0", "false":
+	case "1", "true":
+		if j.portfolio == 0 {
+			return nil, badRequest("?deterministic= requires ?portfolio=")
+		}
+		j.deterministic = true
+	default:
+		return nil, badRequest("bad deterministic %q: want 1 or 0", v)
+	}
 	// Trace payloads are per-request, so traced solves bypass the cache
 	// entirely: no lookup, no fill. The key carries the policy variant:
 	// a request that pins ?policy= must not be served a result computed
@@ -139,10 +159,23 @@ func (s *Server) parseJob(w http.ResponseWriter, r *http.Request) (*job, *httpEr
 		if j.policy != nil {
 			variant = j.policy.Name()
 		}
+		// Portfolio solves cache under their own variant: the response
+		// schema (portfolio block) and, in free-running mode, the answer's
+		// provenance differ per worker count and mode.
+		if j.portfolio > 0 {
+			variant = "portfolio" + strconv.Itoa(j.portfolio)
+			if j.deterministic {
+				variant += "-det"
+			}
+		}
 		j.key = variant + ":" + CanonicalHash(f)
 	}
 	return j, nil
 }
+
+// maxPortfolioWorkers caps ?portfolio=: a request cannot demand more
+// worker goroutines than a small multiple of the machine's cores.
+const maxPortfolioWorkers = 16
 
 // readBody returns the decompressed upload, enforcing Config.MaxBodyBytes
 // on both the wire bytes and the decompressed size (a gzip bomb cannot

@@ -11,6 +11,7 @@ import (
 	"neuroselect/internal/cnf"
 	"neuroselect/internal/deletion"
 	"neuroselect/internal/obs"
+	"neuroselect/internal/portfolio"
 	"neuroselect/internal/solver"
 )
 
@@ -32,12 +33,14 @@ type job struct {
 	f   *cnf.Formula
 	key string // cache key; "" when caching is bypassed
 
-	timeout time.Duration
-	policy  deletion.Policy // non-nil pins the policy (bypasses the selector)
-	trace   bool
-	cached  bool // completed from the result cache without solving
-	shared  bool // completed by an identical in-flight solve (singleflight)
-	attempt int  // retry attempt number; 0 = first admission
+	timeout       time.Duration
+	policy        deletion.Policy // non-nil pins the policy (bypasses the selector)
+	portfolio     int             // >0 solves with an N-worker portfolio instead of one solver
+	deterministic bool            // portfolio only: lockstep exchange rounds
+	trace         bool
+	cached        bool // completed from the result cache without solving
+	shared        bool // completed by an identical in-flight solve (singleflight)
+	attempt       int  // retry attempt number; 0 = first admission
 
 	ctx      context.Context // request ctx (sync) or server base ctx (async)
 	enqueued time.Time
@@ -128,6 +131,25 @@ type solveResponse struct {
 	Timings timings      `json:"timings"`
 	Cached  bool         `json:"cached"`
 	Trace   []obs.Event  `json:"trace,omitempty"` // ?trace=1 only
+	// Portfolio is present only for ?portfolio= solves (append-only
+	// schema extension).
+	Portfolio *portfolioInfo `json:"portfolio,omitempty"`
+}
+
+// portfolioInfo is the wire rendering of a portfolio solve's report:
+// worker count, mode, winner, exchange ledgers, and the reproducibility
+// fingerprints (prop_freq_hash, pseudo_time_us). Wall-clock time is
+// deliberately absent — deterministic responses must not carry any.
+type portfolioInfo struct {
+	Workers       int                       `json:"workers"`
+	Deterministic bool                      `json:"deterministic"`
+	Winner        string                    `json:"winner,omitempty"`
+	WinnerIndex   int                       `json:"winner_index"`
+	Rounds        int                       `json:"rounds"`
+	PropFreqHash  string                    `json:"prop_freq_hash,omitempty"`
+	PseudoTimeUS  int64                     `json:"pseudo_time_us"`
+	Exchange      []portfolio.ExchangeStats `json:"exchange"`
+	Failures      []string                  `json:"failures,omitempty"`
 }
 
 // policyInfo mirrors portfolio.Choice for the wire.

@@ -550,6 +550,10 @@ func (s *Server) executeJob(j *job) (transient bool) {
 		tracer = mem
 	}
 
+	if j.portfolio > 0 {
+		return s.executePortfolio(j, ctx, wait, mem)
+	}
+
 	pol, polInfo := s.selectPolicy(j, mem)
 	opts := dataset.SolveOptions(pol, s.cfg.MaxConflicts)
 	opts.Tracer = tracer
@@ -602,6 +606,86 @@ func (s *Server) executeJob(j *job) (transient bool) {
 	// request's own deadline, and trace payloads are per-request.
 	if j.key != "" && !j.trace && (res.Status == solver.Sat || res.Status == solver.Unsat) {
 		s.cachePut(j.key, body, polInfo.Name)
+	}
+	j.succeed(body)
+	return false
+}
+
+// executePortfolio runs one ?portfolio= solve attempt: an N-worker
+// shared-clause portfolio (free-running, or lockstep rounds under
+// ?deterministic=1) in place of the single-solver path. Policy selection
+// happens per worker inside the portfolio — worker 0 consults the
+// configured selector, the rest stay pinned — so the inference circuit
+// breaker is not on this path. The response carries the standard
+// solveResponse fields plus the append-only portfolio block.
+func (s *Server) executePortfolio(j *job, ctx context.Context, wait time.Duration, mem *memTracer) (transient bool) {
+	cfg := portfolio.Config{
+		Workers:       j.portfolio,
+		Deterministic: j.deterministic,
+		MaxConflicts:  s.cfg.MaxConflicts,
+		Selector:      s.cfg.Selector,
+		Obs:           s.m.reg,
+	}
+	if mem != nil {
+		cfg.Tracer = mem
+	}
+	solveStart := time.Now()
+	rep, err := portfolio.SolveParallelContext(ctx, j.f, cfg)
+	solveNS := time.Since(solveStart).Nanoseconds()
+	s.observeSolveSeconds(float64(solveNS) / 1e9)
+	if err != nil {
+		// The portfolio contains individual worker panics, so an error here
+		// means every worker failed — treated like a contained solver panic:
+		// transient, retry-eligible.
+		j.fail(500, "portfolio solve failed: "+err.Error())
+		return true
+	}
+
+	polName := "portfolio"
+	if rep.Winner != "" {
+		polName = rep.Winner
+	}
+	resp := &solveResponse{
+		Status: rep.Result.Status.String(),
+		Policy: policyInfo{Name: polName, Prob: -1, Fallback: "portfolio"},
+		Stats:  rep.Result.Stats,
+		Timings: timings{
+			QueueNS: wait.Nanoseconds(),
+			SolveNS: solveNS,
+			TotalNS: time.Since(j.enqueued).Nanoseconds(),
+		},
+		Portfolio: &portfolioInfo{
+			Workers:       rep.Workers,
+			Deterministic: rep.Deterministic,
+			Winner:        rep.Winner,
+			WinnerIndex:   rep.WinnerIndex,
+			Rounds:        rep.Rounds,
+			PseudoTimeUS:  int64(rep.PseudoTime / time.Microsecond),
+			Exchange:      rep.Exchange,
+			Failures:      rep.Failures,
+		},
+	}
+	if rep.WinnerIndex >= 0 {
+		resp.Portfolio.PropFreqHash = fmt.Sprintf("%016x", rep.PropFreqHash)
+	}
+	if rep.Result.Status == solver.Sat {
+		resp.Model = modelLits(j.f, rep.Result.Model)
+	}
+	if rep.Result.Stop != nil {
+		resp.Stop = stopReason(rep.Result.Stop)
+	}
+	if mem != nil {
+		resp.Trace = mem.events
+	}
+	s.m.solves("portfolio", resp.Status).Inc()
+
+	body, merr := marshalBody(resp)
+	if merr != nil {
+		j.fail(500, "encode response: "+merr.Error())
+		return false
+	}
+	if j.key != "" && !j.trace && (rep.Result.Status == solver.Sat || rep.Result.Status == solver.Unsat) {
+		s.cachePut(j.key, body, "portfolio")
 	}
 	j.succeed(body)
 	return false

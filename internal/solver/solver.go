@@ -111,6 +111,24 @@ type Options struct {
 	// TraceWindow is the conflict count per rollup window (default 256;
 	// meaningful only with Tracer set).
 	TraceWindow int64
+	// Export, when non-nil, receives every learned clause (DIMACS literals
+	// plus its glue) synchronously from the learn path. The slice is a
+	// reusable solver-owned scratch buffer, valid only for the duration of
+	// the call — the hook must copy what it keeps. Used by the parallel
+	// portfolio's clause exchange; a nil Export costs nothing.
+	Export func(lits []cnf.Lit, glue int)
+	// Import, when non-nil, is drained at every restart boundary (including
+	// before the first search cycle): the returned batch is installed into
+	// the learned-clause database at decision level zero (see SharedClause).
+	// An imported empty clause decides UNSAT; imported units are enqueued
+	// and propagated immediately.
+	Import func() []SharedClause
+	// ActivitySeed, when non-zero, deterministically perturbs the initial
+	// variable activities with tiny pseudo-random values (xorshift from the
+	// seed), so portfolio workers start their searches in different corners
+	// of the tree. Zero (the default) leaves all activities at zero — the
+	// historical trajectory.
+	ActivitySeed uint64
 
 	// disableBinaryWatch turns off the inlined binary-clause watch
 	// specialization, forcing binaries through the generic arena path.
@@ -173,6 +191,7 @@ type Stats struct {
 	Deleted         int64 `json:"deleted"` // learned clauses deleted by reduction
 	UnitsLearned    int64 `json:"units_learned"`
 	BinariesLearned int64 `json:"binaries_learned"`
+	Imported        int64 `json:"imported"`       // foreign clauses installed via Options.Import
 	MinimizedLits   int64 `json:"minimized_lits"` // literals removed by clause minimization
 	MaxTrail        int   `json:"max_trail"`
 	// Arena-GC counters: reduce-time mark-and-compact passes over the
@@ -236,6 +255,7 @@ type Solver struct {
 	// analysis and reduction are allocation-free.
 	addBuf      []lit
 	learntBuf   []lit
+	exportBuf   []cnf.Lit
 	minimizeExt []int
 	redStack    []redFrame
 	redMarked   []int
@@ -321,6 +341,18 @@ func New(f *cnf.Formula, opts Options) (*Solver, error) {
 	}
 	for i := range s.phase {
 		s.phase[i] = opts.InitialPhase
+	}
+	if opts.ActivitySeed != 0 {
+		// Tiny xorshift64 perturbation: large enough to break the initial
+		// all-zero tie, small enough that a handful of real bumps (varInc
+		// starts at 1.0) dominates it immediately.
+		x := opts.ActivitySeed
+		for v := range s.activity {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			s.activity[v] = float64(x%(1<<20)) * 1e-12
+		}
 	}
 	s.heap = newVarHeap(&s.activity, n)
 	for v := 0; v < n; v++ {
@@ -571,9 +603,17 @@ func (s *Solver) solveLoop() Status {
 	if s.budget != nil {
 		return Unknown
 	}
-	restarts := int64(0)
 	for {
-		limit := luby(2, restarts) * s.opts.RestartBase
+		// Restart boundary: the trail is at level zero, so foreign clauses
+		// can be bulk-installed before the next search cycle.
+		if s.opts.Import != nil && !s.importShared() {
+			return Unsat
+		}
+		// The Luby cursor is the cumulative restart counter, so a solve
+		// resumed via ExtendBudget continues the schedule instead of
+		// rewinding it. (Fresh solves are unchanged: both counters used to
+		// start at zero and advance together.)
+		limit := luby(2, s.stats.Restarts) * s.opts.RestartBase
 		st := s.search(limit)
 		if st != Unknown {
 			return st
@@ -581,7 +621,6 @@ func (s *Solver) solveLoop() Status {
 		if s.budget != nil {
 			return Unknown
 		}
-		restarts++
 		s.stats.Restarts++
 		if t := s.opts.Tracer; t != nil {
 			t.Trace(s.traceEvent(obs.EventRestart))
@@ -742,6 +781,9 @@ func (s *Solver) install(learnt []lit, glue int) {
 	s.stats.Learned++
 	if s.opts.Proof != nil {
 		s.opts.Proof.AddClause(toCNFSlice(learnt))
+	}
+	if s.opts.Export != nil {
+		s.exportLearnt(learnt, glue)
 	}
 	switch len(learnt) {
 	case 1:
