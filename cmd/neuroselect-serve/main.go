@@ -7,14 +7,26 @@
 //	                  [-metrics-addr HOST:PORT] [-drain-timeout D]
 //	                  [-journal DIR] [-max-retries N] [-retry-base D]
 //	                  [-breaker-threshold N] [-breaker-cooldown D]
-//	                  [-breaker-max-latency D]
+//	                  [-breaker-max-latency D] [-session-max N]
+//	                  [-session-ttl D] [-session-max-mem BYTES]
 //
 // Endpoints (full contract in API.md):
 //
-//	POST /v1/solve      DIMACS CNF body (raw or gzip) → solve result JSON
-//	POST /v1/jobs       same body → async job id
-//	GET  /v1/jobs/{id}  poll an async job
-//	GET  /healthz       liveness (503 while draining)
+//	POST   /v1/solve               DIMACS CNF body (raw or gzip) → solve result JSON
+//	POST   /v1/jobs                same body → async job id
+//	GET    /v1/jobs/{id}           poll an async job
+//	POST   /v1/sessions            DIMACS body → warm incremental session id
+//	POST   /v1/sessions/{id}/solve JSON step (pop/push/add/assumptions) → result
+//	GET    /v1/sessions/{id}       session info
+//	DELETE /v1/sessions/{id}       close a session (parks the warm solver)
+//	GET    /healthz                liveness (503 while draining)
+//
+// The -session-* flags bound the warm incremental sessions behind
+// /v1/sessions: at most -session-max live sessions (LRU-evicted beyond
+// that), each expiring after -session-ttl idle and closed early if its
+// solver's footprint estimate exceeds -session-max-mem bytes. Sessions are
+// not journaled — a restart loses them; clients recreate on 404 and the
+// warm pool usually makes the recreation cheap.
 //
 // -model loads a trained selector (see `neuroselect train`) so every
 // request gets the paper's one-time policy inference; without it all
@@ -70,6 +82,9 @@ func run() int {
 	breakerThreshold := flag.Int("breaker-threshold", 5, "consecutive selector-inference failures that open the circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "how long an open breaker waits before probing the selector again")
 	breakerMaxLatency := flag.Duration("breaker-max-latency", 0, "inference slower than this counts as a breaker failure (0 disables latency tripping)")
+	sessionMax := flag.Int("session-max", 64, "maximum live warm incremental sessions; creating past the bound evicts the least-recently-used idle one")
+	sessionTTL := flag.Duration("session-ttl", 5*time.Minute, "idle time after which a warm session (or parked pool solver) expires")
+	sessionMaxMem := flag.Int64("session-max-mem", 256<<20, "per-session solver footprint cap in bytes; a solve that grows past it closes the session")
 	flag.Parse()
 
 	reg := obs.NewRegistry()
@@ -111,6 +126,9 @@ func run() int {
 		BreakerThreshold:  *breakerThreshold,
 		BreakerCooldown:   *breakerCooldown,
 		BreakerMaxLatency: *breakerMaxLatency,
+		SessionMax:        *sessionMax,
+		SessionTTL:        *sessionTTL,
+		SessionMaxMem:     *sessionMaxMem,
 		Selector:          sel,
 		Registry:          reg,
 	})

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"neuroselect"
+	"neuroselect/internal/aiger"
 	"neuroselect/internal/gen"
 	"neuroselect/internal/solver"
 )
@@ -74,4 +75,55 @@ func main() {
 			}
 		}
 	}
+
+	// Bounded model checking by incremental unrolling: the transition
+	// relation of a counter that adds 1 or 2 per step (choice adversarial)
+	// is stamped one time frame at a time into a single warm solver via
+	// AddClause; each depth then refutes the invariant "value 2k+1 is
+	// unreachable" without re-solving the prefix. A Push/Pop frame checks a
+	// retractable side property — clauses added under the frame vanish at
+	// Pop, so deepening continues on the same solver afterwards.
+	const width, steps = 7, 12
+	fmt.Printf("case 4: BMC unrolling of an add-1-or-2 counter (width %d, %d steps, one warm solver)\n", width, steps)
+	u, err := aiger.NewUnroller(aiger.CounterAIG(width), width)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bmc, err := solver.New(neuroselect.NewFormula(0), solver.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range u.Init(0) {
+		if err := bmc.AddClause(c); err != nil {
+			log.Fatal(err)
+		}
+	}
+	start := time.Now()
+	for k := 1; k <= steps; k++ {
+		clauses, _ := u.Step()
+		for _, c := range clauses {
+			if err := bmc.AddClause(c); err != nil {
+				log.Fatal(err)
+			}
+		}
+		st, _ := bmc.SolveUnderAssumptions(u.StateEquals(uint64(2*k + 1)))
+		fmt.Printf("  depth %2d: value %3d unreachable: %v  (conflicts=%d, added clauses=%d)\n",
+			k, 2*k+1, st == solver.Unsat, bmc.Stats().Conflicts, bmc.Stats().AddedClauses)
+	}
+	fmt.Printf("  %d depths checked incrementally in %v\n", steps, time.Since(start).Round(time.Microsecond))
+
+	// Retractable property via an assumption frame: pin the final state to
+	// its maximum 2k under a Push frame (SAT — every step chose +2), then
+	// Pop and confirm the pin is gone.
+	bmc.Push()
+	for _, l := range u.StateEquals(uint64(2 * steps)) {
+		if err := bmc.AddClause(neuroselect.Clause{l}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st, _ := bmc.SolveUnderAssumptions(nil)
+	fmt.Printf("  frame property (final value = %d forced): %v with frame open", 2*steps, st)
+	bmc.Pop()
+	st2, _ := bmc.SolveUnderAssumptions(u.StateEquals(uint64(steps)))
+	fmt.Printf(", value %d reachable again after Pop: %v\n", steps, st2 == solver.Sat)
 }

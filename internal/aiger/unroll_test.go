@@ -1,0 +1,111 @@
+package aiger
+
+import (
+	"testing"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/solver"
+)
+
+// TestCounterAIGSingleStep checks the transition relation in isolation:
+// one stamped frame, every (state, free) pair forced by assumptions, the
+// next state must equal state + 1 + free.
+func TestCounterAIGSingleStep(t *testing.T) {
+	const width = 4
+	g := CounterAIG(width)
+	if len(g.Inputs) != width+1 || len(g.Outputs) != width {
+		t.Fatalf("shape: %d inputs %d outputs", len(g.Inputs), len(g.Outputs))
+	}
+	for start := uint64(0); start < 1<<width; start++ {
+		for freeVal := 0; freeVal <= 1; freeVal++ {
+			u, err := NewUnroller(g, width)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f := cnf.New(0)
+			for _, c := range u.Init(start) {
+				f.MustAddClause(c...)
+			}
+			clauses, free := u.Step()
+			if len(free) != 1 {
+				t.Fatalf("want 1 free input, got %d", len(free))
+			}
+			for _, c := range clauses {
+				f.MustAddClause(c...)
+			}
+			f.NumVars = u.NumVars()
+			assume := []cnf.Lit{free[0]}
+			if freeVal == 0 {
+				assume[0] = -free[0]
+			}
+			want := (start + 1 + uint64(freeVal)) % (1 << width)
+			res, err := solver.SolveAssuming(f, append(assume, u.StateEquals(want)...), solver.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != solver.Sat {
+				t.Fatalf("state %d + %d: next state %d not satisfiable", start, 1+freeVal, want)
+			}
+			// Any other next state must be impossible.
+			res, err = solver.SolveAssuming(f, append(assume, u.StateEquals((want+1)%(1<<width))...), solver.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Status != solver.Unsat {
+				t.Fatalf("state %d + %d: wrong next state satisfiable", start, 1+freeVal)
+			}
+		}
+	}
+}
+
+// TestUnrollerReachability unrolls the add-1-or-2 counter and checks, at
+// each depth k, that target values are reachable exactly when k ≤ target
+// ≤ 2k — on both a cold solver over the accumulated formula and a warm
+// incremental solver fed only the per-frame deltas.
+func TestUnrollerReachability(t *testing.T) {
+	const width, steps = 4, 5
+	g := CounterAIG(width)
+	u, err := NewUnroller(g, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := cnf.New(0)
+	inc, err := solver.New(cnf.New(0), solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range u.Init(0) {
+		acc.MustAddClause(c...)
+		if err := inc.AddClause(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 1; k <= steps; k++ {
+		clauses, _ := u.Step()
+		for _, c := range clauses {
+			acc.MustAddClause(c...)
+			if err := inc.AddClause(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		acc.NumVars = u.NumVars()
+		for target := uint64(0); target < 1<<width; target++ {
+			want := solver.Unsat
+			if uint64(k) <= target && target <= uint64(2*k) {
+				want = solver.Sat
+			}
+			as := u.StateEquals(target)
+			cold, err := solver.SolveAssuming(acc, as, solver.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cold.Status != want {
+				t.Fatalf("depth %d target %d: cold %v, want %v", k, target, cold.Status, want)
+			}
+			st, _ := inc.SolveUnderAssumptions(as)
+			if st != want {
+				t.Fatalf("depth %d target %d: incremental %v, want %v", k, target, st, want)
+			}
+		}
+	}
+}

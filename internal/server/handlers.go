@@ -18,10 +18,14 @@ import (
 
 // Handler returns the service mux:
 //
-//	POST /v1/solve      synchronous solve (blocks until the result)
-//	POST /v1/jobs       asynchronous solve (returns a job id)
-//	GET  /v1/jobs/{id}  poll an async job
-//	GET  /healthz       liveness (503 while draining)
+//	POST   /v1/solve               synchronous solve (blocks until the result)
+//	POST   /v1/jobs                asynchronous solve (returns a job id)
+//	GET    /v1/jobs/{id}           poll an async job
+//	POST   /v1/sessions            create a warm incremental session
+//	POST   /v1/sessions/{id}/solve incremental step on a session
+//	GET    /v1/sessions/{id}       session info
+//	DELETE /v1/sessions/{id}       close a session (parks the warm solver)
+//	GET    /healthz                liveness (503 while draining)
 //
 // Mount it on an http.Server; metrics exposition lives on the registry's
 // own listener (obs.Serve), keeping the data plane and the telemetry
@@ -31,6 +35,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", s.instrument("solve", s.handleSolve))
 	mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", s.handleSubmit))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("poll", s.handlePoll))
+	mux.HandleFunc("POST /v1/sessions", s.instrument("session-create", s.handleSessionCreate))
+	mux.HandleFunc("POST /v1/sessions/{id}/solve", s.instrument("session-solve", s.handleSessionSolve))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("session-info", s.handleSessionInfo))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("session-delete", s.handleSessionDelete))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }

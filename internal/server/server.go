@@ -122,6 +122,16 @@ type Config struct {
 	// BreakerMaxLatency, when >0, counts an inference slower than this as
 	// a failure even if it returned a policy (a latency-spike trip).
 	BreakerMaxLatency time.Duration
+	// SessionMax bounds concurrently-live warm sessions (and the parked-
+	// solver pool behind them); creating one past the bound evicts the
+	// least-recently-used idle session (<=0 → 64).
+	SessionMax int
+	// SessionTTL expires sessions (and parked pool solvers) idle this long
+	// (<=0 → 5m).
+	SessionTTL time.Duration
+	// SessionMaxMem caps one session solver's estimated footprint in
+	// bytes; a solve that grows past it closes the session (<=0 → 256 MiB).
+	SessionMaxMem int64
 	// Selector, when non-nil, picks the deletion policy per instance via
 	// the NeuroSelect model (requests may still pin one with ?policy=).
 	// Nil servers solve everything under the default policy.
@@ -142,6 +152,9 @@ type Server struct {
 	jobs  *jobStore
 	jnl   *journal // nil when journaling is disabled
 	brk   *breaker
+
+	sessions *sessionTable // warm incremental sessions (see sessions.go)
+	pool     *solverPool   // parked warm solvers keyed by base-formula hash
 
 	flMu sync.Mutex // guards fl and every job's followers slice
 	fl   flightTable
@@ -177,6 +190,8 @@ type serverMetrics struct {
 	journalErr func(op string) *obs.Counter
 	inference  func(outcome string) *obs.Counter
 	breakerTo  func(state string) *obs.Counter
+	sessionEv  func(event string) *obs.Counter
+	sessionSec func(mode string) *obs.Histogram
 }
 
 func newServerMetrics(reg *obs.Registry, s *Server) serverMetrics {
@@ -233,6 +248,22 @@ func newServerMetrics(reg *obs.Registry, s *Server) serverMetrics {
 	reg.GaugeFunc("neuroselect_server_breaker_state",
 		"Inference circuit-breaker state (0 closed, 1 half-open, 2 open).", nil,
 		func() float64 { return float64(s.brk.State()) })
+	m.sessionEv = func(event string) *obs.Counter {
+		return reg.Counter("neuroselect_server_session_events_total",
+			"Warm-session activity by event (create, close, hit, miss, park, drop, evict, expire, memcap).",
+			obs.Labels{"event": event})
+	}
+	m.sessionSec = func(mode string) *obs.Histogram {
+		return reg.Histogram("neuroselect_server_session_solve_seconds",
+			"Session operation latency by mode: create (build or pool fetch) vs incremental (one warm solve).",
+			nil, obs.Labels{"mode": mode})
+	}
+	reg.GaugeFunc("neuroselect_server_sessions_active",
+		"Live warm sessions.", nil,
+		func() float64 { return float64(s.sessions.Len()) })
+	reg.GaugeFunc("neuroselect_server_session_pool_size",
+		"Parked warm solvers awaiting reuse.", nil,
+		func() float64 { return float64(s.pool.Len()) })
 	return m
 }
 
@@ -262,19 +293,30 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RetryBase <= 0 {
 		cfg.RetryBase = 100 * time.Millisecond
 	}
+	if cfg.SessionMax <= 0 {
+		cfg.SessionMax = 64
+	}
+	if cfg.SessionTTL <= 0 {
+		cfg.SessionTTL = 5 * time.Minute
+	}
+	if cfg.SessionMaxMem <= 0 {
+		cfg.SessionMaxMem = 256 << 20
+	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:     cfg,
-		queue:   make(chan *job, cfg.QueueDepth),
-		cache:   newResultCache(cfg.CacheSize),
-		jobs:    newJobStore(cfg.JobHistory),
-		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		fl:      flightTable{m: make(map[string]*job)},
-		baseCtx: ctx,
-		cancel:  cancel,
+		cfg:      cfg,
+		queue:    make(chan *job, cfg.QueueDepth),
+		cache:    newResultCache(cfg.CacheSize),
+		jobs:     newJobStore(cfg.JobHistory),
+		brk:      newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		fl:       flightTable{m: make(map[string]*job)},
+		sessions: newSessionTable(cfg.SessionMax),
+		pool:     newSolverPool(cfg.SessionMax),
+		baseCtx:  ctx,
+		cancel:   cancel,
 	}
 	s.m = newServerMetrics(cfg.Registry, s)
 	s.brk.onFlip = func(to breakerState) { s.m.breakerTo(to.String()).Inc() }
@@ -294,6 +336,8 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	s.wg.Add(1)
+	go s.sessionReaper()
 	for _, rec := range pending {
 		s.replayJob(rec)
 	}
@@ -900,9 +944,13 @@ func (s *Server) Close() {
 	s.closeJournal()
 }
 
-// stopWorkers closes the queue exactly once and joins the pool.
+// stopWorkers closes the queue exactly once and joins the pool (workers
+// plus the session reaper, which exits on the base-context cancel — by the
+// time stopWorkers runs, both Drain and Close have no pending work left
+// that the cancel could abort).
 func (s *Server) stopWorkers() {
 	s.draining.Store(true)
+	s.cancel()
 	s.admitMu.Lock()
 	if s.closed.CompareAndSwap(false, true) {
 		close(s.queue)

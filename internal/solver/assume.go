@@ -9,6 +9,12 @@ import (
 // returns the subset of assumptions the refutation actually used (the
 // "failed assumptions" / unsat core over assumptions); the solver remains
 // usable for further calls with different assumptions.
+//
+// Open Push frames participate transparently: their activation literals
+// are assumed ahead of the caller's assumptions, and are filtered from
+// the returned core, so an UNSAT answer that depends only on frame
+// clauses reports an empty core. The returned core aliases solver-owned
+// scratch and is valid until the next solve or AddClause call.
 func (s *Solver) SolveUnderAssumptions(assumptions []cnf.Lit) (Status, []cnf.Lit) {
 	if !s.ok {
 		return Unsat, nil
@@ -18,14 +24,15 @@ func (s *Solver) SolveUnderAssumptions(assumptions []cnf.Lit) (Status, []cnf.Lit
 		s.ok = false
 		return Unsat, nil
 	}
-	internal := make([]lit, len(assumptions))
-	for i, a := range assumptions {
-		internal[i] = fromCNF(a)
-		if internal[i].v() >= s.numVars {
-			// Assumption over an unknown variable is trivially free.
-			internal[i] = litUndef
-		}
+	internal := s.assumeBuf[:0]
+	for _, t := range s.frames {
+		internal = append(internal, mkLit(t, false))
 	}
+	for _, a := range assumptions {
+		// Assumptions over unknown variables are trivially free.
+		internal = append(internal, s.assumeLit(a))
+	}
+	s.assumeBuf = internal
 	restarts := int64(0)
 	for {
 		limit := luby(2, restarts) * s.opts.RestartBase
@@ -94,8 +101,19 @@ func (s *Solver) searchAssuming(assumptions []lit, conflictLimit int64) (Status,
 			return Unknown, nil
 		}
 		if conflictsHere >= conflictLimit {
-			s.cancelUntil(0)
-			return Unknown, nil // restart
+			// Restart. Keep the assumption prefix: its enqueues and the
+			// propagation they trigger are identical every time, so
+			// cancelling to the prefix boundary instead of level zero
+			// saves re-propagating the prefix on every restart. (The
+			// historical cancelUntil(0) behavior remains available under
+			// the test-only disableAssumptionPrefixKeep option so the
+			// saving stays measurable.)
+			if s.opts.disableAssumptionPrefixKeep {
+				s.cancelUntil(0)
+			} else {
+				s.cancelUntil(len(assumptions))
+			}
+			return Unknown, nil
 		}
 		// Enqueue pending assumptions before free decisions.
 		if lvl := s.decisionLevel(); lvl < len(assumptions) {
@@ -145,18 +163,37 @@ func (s *Solver) reasonRest(c cref, p lit) []lit {
 	return cls[1:]
 }
 
-// analyzeFinal walks the implication graph from a conflict that occurred
-// within the assumption prefix and collects the assumptions it depends on.
-func (s *Solver) analyzeFinal(conflict cref, assumptions []lit) []cnf.Lit {
-	isAssumption := make(map[lit]bool, len(assumptions))
+// markAssumptions sets the per-literal assumption marks for the prefix
+// (solver-owned scratch; unmarkAssumptions must run before returning).
+func (s *Solver) markAssumptions(assumptions []lit) {
+	if len(s.assumpMark) < 2*s.numVars {
+		s.assumpMark = make([]bool, 2*s.numVars)
+	}
 	for _, a := range assumptions {
 		if a != litUndef {
-			isAssumption[a] = true
+			s.assumpMark[a] = true
 		}
 	}
-	var core []cnf.Lit
-	seen := make([]bool, s.numVars)
-	var stack []lit
+}
+
+func (s *Solver) unmarkAssumptions(assumptions []lit) {
+	for _, a := range assumptions {
+		if a != litUndef {
+			s.assumpMark[a] = false
+		}
+	}
+}
+
+// analyzeFinal walks the implication graph from a conflict that occurred
+// within the assumption prefix and collects the assumptions it depends
+// on. All bookkeeping lives in solver-owned scratch (assumpMark, seen +
+// seenClear, finalStack, coreBuf), so steady-state core extraction is
+// allocation-free; the returned slice aliases coreBuf.
+func (s *Solver) analyzeFinal(conflict cref, assumptions []lit) []cnf.Lit {
+	s.markAssumptions(assumptions)
+	core := s.coreBuf[:0]
+	stack := s.finalStack[:0]
+	cleared := s.seenClear[:0]
 	for _, l := range s.clauseLits(conflict) {
 		if s.level[l.v()] > 0 {
 			stack = append(stack, l)
@@ -166,12 +203,17 @@ func (s *Solver) analyzeFinal(conflict cref, assumptions []lit) []cnf.Lit {
 		l := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		v := l.v()
-		if seen[v] || s.level[v] == 0 {
+		if s.seen[v] || s.level[v] == 0 {
 			continue
 		}
-		seen[v] = true
-		if isAssumption[l.not()] {
-			core = append(core, toCNF(l.not()))
+		s.seen[v] = true
+		cleared = append(cleared, v)
+		if s.assumpMark[l.not()] {
+			// Activation literals (frame guards) are assumptions too but
+			// have no user form; userLitOf filters them from the core.
+			if ul, ok := s.userLitOf(l.not()); ok {
+				core = append(core, ul)
+			}
 			continue
 		}
 		r := s.reason[v]
@@ -184,6 +226,11 @@ func (s *Solver) analyzeFinal(conflict cref, assumptions []lit) []cnf.Lit {
 		}
 		stack = append(stack, s.reasonRest(r, l.not())...)
 	}
+	for _, v := range cleared {
+		s.seen[v] = false
+	}
+	s.unmarkAssumptions(assumptions)
+	s.finalStack, s.seenClear, s.coreBuf = stack[:0], cleared[:0], core
 	return core
 }
 
@@ -191,41 +238,48 @@ func (s *Solver) analyzeFinal(conflict cref, assumptions []lit) []cnf.Lit {
 // already false by propagation from earlier assumptions. The stack holds
 // FALSE literals (as in analyzeFinal): for a false literal q, the true
 // assignment is q.not(), whose provenance is either an assumption or a
-// reason clause.
+// reason clause. Bookkeeping shares analyzeFinal's scratch buffers.
 func (s *Solver) coreOfFalsified(a lit, assumptions []lit) []cnf.Lit {
-	isAssumption := make(map[lit]bool, len(assumptions))
-	for _, x := range assumptions {
-		if x != litUndef {
-			isAssumption[x] = true
-		}
+	s.markAssumptions(assumptions)
+	core := s.coreBuf[:0]
+	if ul, ok := s.userLitOf(a); ok {
+		core = append(core, ul)
 	}
-	core := []cnf.Lit{toCNF(a)}
-	seen := make([]bool, s.numVars)
-	seen[a.v()] = true
-	var stack []lit
-	if isAssumption[a.not()] {
+	cleared := s.seenClear[:0]
+	s.seen[a.v()] = true
+	cleared = append(cleared, a.v())
+	stack := s.finalStack[:0]
+	if s.assumpMark[a.not()] {
 		// Directly contradictory assumption pair {a, ¬a}.
-		core = append(core, toCNF(a.not()))
-		return core
-	}
-	if r := s.reason[a.v()]; r != crefUndef {
+		if ul, ok := s.userLitOf(a.not()); ok {
+			core = append(core, ul)
+		}
+	} else if r := s.reason[a.v()]; r != crefUndef {
 		stack = append(stack, s.reasonRest(r, a.not())...)
 	}
 	for len(stack) > 0 {
 		q := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		v := q.v()
-		if seen[v] || s.level[v] == 0 {
+		if s.seen[v] || s.level[v] == 0 {
 			continue
 		}
-		seen[v] = true
-		if isAssumption[q.not()] {
-			core = append(core, toCNF(q.not()))
+		s.seen[v] = true
+		cleared = append(cleared, v)
+		if s.assumpMark[q.not()] {
+			if ul, ok := s.userLitOf(q.not()); ok {
+				core = append(core, ul)
+			}
 			continue
 		}
 		if r := s.reason[v]; r != crefUndef {
 			stack = append(stack, s.reasonRest(r, q.not())...)
 		}
 	}
+	for _, v := range cleared {
+		s.seen[v] = false
+	}
+	s.unmarkAssumptions(assumptions)
+	s.finalStack, s.seenClear, s.coreBuf = stack[:0], cleared[:0], core
 	return core
 }

@@ -3,6 +3,7 @@ package solver
 import (
 	"testing"
 
+	"neuroselect/internal/aiger"
 	"neuroselect/internal/cnf"
 	"neuroselect/internal/deletion"
 	"neuroselect/internal/gen"
@@ -180,4 +181,96 @@ func BenchmarkReduceCost(b *testing.B) {
 			reportSolverMetrics(b, props, conflicts)
 		})
 	}
+}
+
+// unrollDepthQueries is the query schedule shared by the incremental and
+// cold unrolling benchmarks: at each depth k of the add-1-or-2 counter,
+// refute the just-out-of-reach value 2k+1 (UNSAT — the interesting proof)
+// and witness the max-reachable value 2k (SAT).
+func unrollDepthQueries(k int) (unsatTarget, satTarget uint64) {
+	return uint64(2*k + 1), uint64(2 * k)
+}
+
+// BenchmarkIncrementalUnroll measures a BMC deepening sequence on one warm
+// solver: each depth adds only the new frame's clauses via AddClause and
+// solves under assumptions, so learned clauses, activities, and phases
+// carry across depths. Compare against BenchmarkIncrementalUnrollCold,
+// which pays a fresh construction and scratch search at every depth.
+func BenchmarkIncrementalUnroll(b *testing.B) {
+	const width, steps = 7, 20
+	g := aiger.CounterAIG(width)
+	b.ReportAllocs()
+	var props, conflicts int64
+	for i := 0; i < b.N; i++ {
+		u, err := aiger.NewUnroller(g, width)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := New(cnf.New(0), Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range u.Init(0) {
+			if err := s.AddClause(c); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for k := 1; k <= steps; k++ {
+			clauses, _ := u.Step()
+			for _, c := range clauses {
+				if err := s.AddClause(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+			unsatT, satT := unrollDepthQueries(k)
+			if st, _ := s.SolveUnderAssumptions(u.StateEquals(unsatT)); st != Unsat {
+				b.Fatalf("depth %d: %d must be unreachable", k, unsatT)
+			}
+			if st, _ := s.SolveUnderAssumptions(u.StateEquals(satT)); st != Sat {
+				b.Fatalf("depth %d: %d must be reachable", k, satT)
+			}
+		}
+		props += s.Stats().Propagations
+		conflicts += s.Stats().Conflicts
+	}
+	reportSolverMetrics(b, props, conflicts)
+}
+
+// BenchmarkIncrementalUnrollCold is the baseline the warm path is judged
+// against: the same unrolling and query schedule, but every depth rebuilds
+// a solver from the accumulated formula and searches from scratch.
+func BenchmarkIncrementalUnrollCold(b *testing.B) {
+	const width, steps = 7, 20
+	g := aiger.CounterAIG(width)
+	b.ReportAllocs()
+	var props, conflicts int64
+	for i := 0; i < b.N; i++ {
+		u, err := aiger.NewUnroller(g, width)
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc := cnf.New(0)
+		for _, c := range u.Init(0) {
+			acc.MustAddClause(c...)
+		}
+		for k := 1; k <= steps; k++ {
+			clauses, _ := u.Step()
+			for _, c := range clauses {
+				acc.MustAddClause(c...)
+			}
+			acc.NumVars = u.NumVars()
+			unsatT, satT := unrollDepthQueries(k)
+			res, err := SolveAssuming(acc, u.StateEquals(unsatT), Options{})
+			if err != nil || res.Status != Unsat {
+				b.Fatalf("depth %d: %d must be unreachable (%v)", k, unsatT, err)
+			}
+			res, err = SolveAssuming(acc, u.StateEquals(satT), Options{})
+			if err != nil || res.Status != Sat {
+				b.Fatalf("depth %d: %d must be reachable (%v)", k, satT, err)
+			}
+			props += res.Stats.Propagations
+			conflicts += res.Stats.Conflicts
+		}
+	}
+	reportSolverMetrics(b, props, conflicts)
 }

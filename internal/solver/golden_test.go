@@ -3,6 +3,7 @@ package solver
 import (
 	"testing"
 
+	"neuroselect/internal/cnf"
 	"neuroselect/internal/deletion"
 	"neuroselect/internal/gen"
 )
@@ -190,32 +191,75 @@ func TestBinaryWatchSpecializationNeutral(t *testing.T) {
 }
 
 // TestSteadyStateAllocationFree verifies that the search itself stays out
-// of the allocator: conflict analysis, clause learning, and database
-// reduction all run on the arena and solver-owned scratch buffers. A full
-// cold solve of php-7 drives ~7k conflicts and ~22 reductions; everything
-// AllocsPerRun sees is construction plus amortized watch-list/arena
-// doubling, which grows logarithmically, not per conflict. The pre-arena
-// solver allocated ~2 per conflict on this instance (≈14.5k per run); the
-// bound of 0.2 per conflict fails if any per-conflict or per-reduction
-// allocation sneaks back into the hot path.
+// of the allocator: conflict analysis, clause learning, database
+// reduction, and assumption-core extraction all run on the arena and
+// solver-owned scratch buffers.
 func TestSteadyStateAllocationFree(t *testing.T) {
-	inst := gen.Pigeonhole(7)
-	var conflicts int64
-	allocs := testing.AllocsPerRun(3, func() {
-		s, err := New(inst.F, goldenOptions(nil))
+	// A full cold solve of php-7 drives ~7k conflicts and ~22 reductions;
+	// everything AllocsPerRun sees is construction plus amortized
+	// watch-list/arena doubling, which grows logarithmically, not per
+	// conflict. The pre-arena solver allocated ~2 per conflict on this
+	// instance (≈14.5k per run); the bound of 0.2 per conflict fails if
+	// any per-conflict or per-reduction allocation sneaks back into the
+	// hot path.
+	t.Run("cold-solve", func(t *testing.T) {
+		inst := gen.Pigeonhole(7)
+		var conflicts int64
+		allocs := testing.AllocsPerRun(3, func() {
+			s, err := New(inst.F, goldenOptions(nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Solve() != Unsat {
+				t.Fatal("php-7 must be UNSAT")
+			}
+			conflicts = s.Stats().Conflicts
+		})
+		if conflicts < 5000 {
+			t.Fatalf("instance too easy to exercise steady state: %d conflicts", conflicts)
+		}
+		if limit := float64(conflicts) / 5; allocs > limit {
+			t.Errorf("%v allocs for %d conflicts; want ≤ %v (search must not allocate per conflict)",
+				allocs, conflicts, limit)
+		}
+	})
+
+	// Assumption solving must be just as clean: both failed-assumption
+	// analyses (analyzeFinal for a conflict inside the prefix,
+	// coreOfFalsified for an assumption contradicted by prefix
+	// propagation) used to allocate a map plus two slices per call; they
+	// now run on solver-owned scratch, so repeated UNSAT-with-core solves
+	// on a warm solver perform zero allocations. (The SAT path is excluded
+	// deliberately: extracting a model snapshot allocates by design.)
+	t.Run("assumption-cores", func(t *testing.T) {
+		const n = 60
+		chainConflict := cnf.New(n)
+		chainFree := cnf.New(n)
+		for i := 1; i < n; i++ {
+			chainConflict.MustAddClause(-cnf.Lit(i), cnf.Lit(i+1))
+			chainFree.MustAddClause(-cnf.Lit(i), cnf.Lit(i+1))
+		}
+		chainConflict.MustAddClause(-cnf.Lit(n-1), -cnf.Lit(n))
+		sFinal, err := New(chainConflict, goldenOptions(nil))
 		if err != nil {
 			t.Fatal(err)
 		}
-		if s.Solve() != Unsat {
-			t.Fatal("php-7 must be UNSAT")
+		sFalsified, err := New(chainFree, goldenOptions(nil))
+		if err != nil {
+			t.Fatal(err)
 		}
-		conflicts = s.Stats().Conflicts
+		aFinal := []cnf.Lit{1}         // chain propagates into the conflict clause → analyzeFinal
+		aFalsified := []cnf.Lit{1, -n} // chain forces x_n true → coreOfFalsified on ¬x_n
+		allocs := testing.AllocsPerRun(10, func() {
+			if st, core := sFinal.SolveUnderAssumptions(aFinal); st != Unsat || len(core) != 1 {
+				t.Fatalf("analyzeFinal query: %v, core %v", st, core)
+			}
+			if st, core := sFalsified.SolveUnderAssumptions(aFalsified); st != Unsat || len(core) != 2 {
+				t.Fatalf("coreOfFalsified query: %v, core %v", st, core)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("%v allocs per warm assumption solve; want 0", allocs)
+		}
 	})
-	if conflicts < 5000 {
-		t.Fatalf("instance too easy to exercise steady state: %d conflicts", conflicts)
-	}
-	if limit := float64(conflicts) / 5; allocs > limit {
-		t.Errorf("%v allocs for %d conflicts; want ≤ %v (search must not allocate per conflict)",
-			allocs, conflicts, limit)
-	}
 }

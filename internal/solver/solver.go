@@ -134,6 +134,12 @@ type Options struct {
 	// specialization, forcing binaries through the generic arena path.
 	// Test-only: the search must be bit-identical either way.
 	disableBinaryWatch bool
+	// disableAssumptionPrefixKeep restores the historical restart behavior
+	// of assumption solving: backtrack to level zero and re-enqueue (and
+	// re-propagate) the whole assumption prefix after every restart, instead
+	// of cancelling only to the prefix boundary. Test-only: used to measure
+	// the redundant propagations the prefix-keeping restart saves.
+	disableAssumptionPrefixKeep bool
 }
 
 // ProofLogger receives clause additions and deletions in DIMACS literals;
@@ -192,6 +198,7 @@ type Stats struct {
 	UnitsLearned    int64 `json:"units_learned"`
 	BinariesLearned int64 `json:"binaries_learned"`
 	Imported        int64 `json:"imported"`       // foreign clauses installed via Options.Import
+	AddedClauses    int64 `json:"added_clauses"`  // clauses installed via the incremental AddClause API
 	MinimizedLits   int64 `json:"minimized_lits"` // literals removed by clause minimization
 	MaxTrail        int   `json:"max_trail"`
 	// Arena-GC counters: reduce-time mark-and-compact passes over the
@@ -211,11 +218,26 @@ type watcher struct {
 	blocker lit
 }
 
-// Solver is a CDCL SAT solver over a fixed number of variables.
+// Solver is a CDCL SAT solver. The variable count is fixed by the formula
+// at construction but may grow through the incremental interface
+// (incremental.go): AddClause introduces new user variables, and Push
+// allocates internal activation variables that are invisible to callers.
 type Solver struct {
 	opts Options
 
-	numVars int
+	numVars int // internal variables (user variables + activation variables)
+	uvars   int // user-visible variables; == numVars until Push diverges them
+
+	// User↔internal variable maps. Both are nil while the mapping is the
+	// identity (no Push has ever run); see materializeVarMaps. i2u[v] is -1
+	// for activation variables, which have no user-visible number.
+	u2i []int32
+	i2u []int32
+
+	// frames is the stack of activation variables opened by Push; the top
+	// frame guards every clause added since the matching Push, and every
+	// SolveUnderAssumptions call assumes all of them true.
+	frames []int
 
 	// arena is the flat clause store (see arena.go for the layout);
 	// problemEnd is the boundary below which clauses never move or die.
@@ -262,6 +284,18 @@ type Solver struct {
 	redCand     []cref
 	redScores   []uint64
 	redSort     reduceSorter
+
+	// Assumption-solving scratch (assume.go): the internal assumption
+	// prefix, the per-literal assumption marks, the final-conflict DFS
+	// stack, the list of seen[] entries to clear, and the returned core.
+	// All reused across calls so steady-state assumption solving is
+	// allocation-free; a returned core is valid until the next solve or
+	// AddClause call on this solver.
+	assumeBuf  []lit
+	assumpMark []bool // indexed by lit
+	finalStack []lit
+	seenClear  []int
+	coreBuf    []cnf.Lit
 
 	stats  Stats
 	ok     bool // false once top-level conflict is found
@@ -321,6 +355,7 @@ func New(f *cnf.Formula, opts Options) (*Solver, error) {
 	s := &Solver{
 		opts:          opts,
 		numVars:       n,
+		uvars:         n,
 		watches:       make([][]watcher, 2*n),
 		assign:        make([]lbool, n),
 		level:         make([]int32, n),
@@ -799,11 +834,22 @@ func (s *Solver) install(learnt []lit, glue int) {
 	s.enqueue(learnt[0], c)
 }
 
-// extractModel snapshots the current full assignment as a cnf.Assignment.
+// extractModel snapshots the current full assignment as a cnf.Assignment
+// over the user-visible variables. Activation variables introduced by Push
+// are internal bookkeeping and never appear in the model.
 func (s *Solver) extractModel() {
-	s.model = cnf.NewAssignment(s.numVars)
-	for v := 0; v < s.numVars; v++ {
-		s.model[v+1] = s.assign[v] == lTrue
+	if s.i2u == nil {
+		s.model = cnf.NewAssignment(s.numVars)
+		for v := 0; v < s.numVars; v++ {
+			s.model[v+1] = s.assign[v] == lTrue
+		}
+		return
+	}
+	s.model = cnf.NewAssignment(s.uvars)
+	for iv, u := range s.i2u {
+		if u >= 0 {
+			s.model[u+1] = s.assign[iv] == lTrue
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" -count "$COUNT" \
 awk -v benchtime="$BENCHTIME" '
 	function family(name) {
 		if (name ~ /^Portfolio/) return "portfolio"
+		if (name ~ /^Incremental/) return "incremental"
 		if (name ~ /Random3SAT/ || name ~ /ReduceCost/) return "random3sat"
 		if (name ~ /Pigeonhole/) return "pigeonhole"
 		if (name ~ /Miter/) return "miter"

@@ -5,7 +5,10 @@
 # server), a live metrics-endpoint smoke test, a portfolio determinism
 # smoke (php-9 under -portfolio -deterministic must be byte-identical
 # across runs and worker counts), an end-to-end smoke of the solving
-# service (cache hit, queue shedding, SIGTERM drain), a chaos smoke
+# service (cache hit, queue shedding, SIGTERM drain), an incremental
+# warm-session smoke (a session's steps must answer exactly like cold
+# solves of the equivalent accumulated formulas, and an idle session
+# must expire after -session-ttl), a chaos smoke
 # (kill -9 mid-solve, restart over the same -journal directory, the job
 # must still complete), two documentation gates (package comments,
 # README flag freshness), a benchmark regression gate against
@@ -59,7 +62,7 @@ echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/experiments ./internal/portfolio \
 	./internal/sweep ./internal/metrics ./internal/dataset \
 	./internal/solver ./internal/faultpoint ./internal/obs \
-	./internal/server
+	./internal/server ./internal/aiger
 
 echo "== benchmark smoke (1 iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x ./internal/solver ./internal/drat \
@@ -304,6 +307,97 @@ if [ "$rc" != 0 ]; then
 	exit 1
 fi
 echo "serve smoke: concurrent solves, cache hit, 429 shedding, SIGTERM drain all ok"
+
+echo "== incremental-session smoke (warm steps match cold solves, idle TTL expiry)"
+# An implication chain 1->2->3->4: under the assumptions below every
+# variable is forced, so a warm incremental step and a cold solve of the
+# equivalent formula (added clauses + assumptions as root units) must
+# agree not just on status but literal-for-literal on the model.
+printf 'p cnf 4 3\n-1 2 0\n-2 3 0\n-3 4 0\n' > "$SMOKE_DIR/chain.cnf"
+"$SMOKE_DIR/neuroselect-serve" -addr 127.0.0.1:0 -workers 2 -session-ttl 2s \
+	> "$SMOKE_DIR/serve_sess.txt" 2>&1 &
+SERVE_PID=$!
+api=""
+i=0
+while [ -z "$api" ] && [ "$i" -lt 100 ]; do
+	api="$(sed -n 's/^solving API listening on //p' "$SMOKE_DIR/serve_sess.txt" 2>/dev/null)"
+	[ -n "$api" ] || sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$api" ]; then
+	echo "session smoke: FAIL — server never announced its listen address"
+	exit 1
+fi
+sid="$(curl -s --data-binary @"$SMOKE_DIR/chain.cnf" "http://$api/v1/sessions" |
+	sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+if [ -z "$sid" ]; then
+	echo "session smoke: FAIL — session create returned no id"
+	exit 1
+fi
+# answer_of FILE: the (status, model) pair a solve response carries.
+answer_of() {
+	printf '%s %s\n' \
+		"$(grep -o '"status":"[A-Z]*"' "$1")" \
+		"$(grep -o '"model":\[[^]]*\]' "$1")"
+}
+# Three incremental steps: assumptions only, then a permanent added
+# clause, then another. Each cold reference is the chain plus every
+# clause added so far plus this step's assumptions as unit clauses.
+step() { # step N json cold_extra_units...
+	n="$1"
+	body="$2"
+	shift 2
+	curl -s -d "$body" "http://$api/v1/sessions/$sid/solve" \
+		> "$SMOKE_DIR/warm$n.json"
+	{
+		printf 'p cnf 4 %d\n-1 2 0\n-2 3 0\n-3 4 0\n' $((3 + $#))
+		for u in "$@"; do printf '%s 0\n' "$u"; done
+	} > "$SMOKE_DIR/cold$n.cnf"
+	curl -s --data-binary @"$SMOKE_DIR/cold$n.cnf" "http://$api/v1/solve" \
+		> "$SMOKE_DIR/cold$n.json"
+	warm="$(answer_of "$SMOKE_DIR/warm$n.json")"
+	cold="$(answer_of "$SMOKE_DIR/cold$n.json")"
+	if [ -z "$warm" ] || [ "$warm" != "$cold" ]; then
+		echo "session smoke: FAIL — step $n warm answer ($warm) != cold ($cold)"
+		exit 1
+	fi
+}
+step 1 '{"assumptions":[1]}' 1
+step 2 '{"add":[[-1]],"assumptions":[-2,-3,-4]}' -1 -2 -3 -4
+step 3 '{"add":[[3]],"assumptions":[-2]}' -1 3 -2
+# Idle TTL: the reaper must expire the session. Poll the info endpoint —
+# it reports idle time without refreshing the TTL, so polling cannot keep
+# the session alive — then confirm a solve on the expired id is 404 too.
+gone=""
+i=0
+while [ -z "$gone" ] && [ "$i" -lt 100 ]; do
+	code="$(curl -s -o /dev/null -w '%{http_code}' "http://$api/v1/sessions/$sid")"
+	if [ "$code" = 404 ]; then
+		gone=yes
+	else
+		sleep 0.1
+	fi
+	i=$((i + 1))
+done
+if [ -z "$gone" ]; then
+	echo "session smoke: FAIL — session never expired after the 2s idle TTL"
+	exit 1
+fi
+code="$(curl -s -o /dev/null -w '%{http_code}' -d '{}' \
+	"http://$api/v1/sessions/$sid/solve")"
+if [ "$code" != 404 ]; then
+	echo "session smoke: FAIL — solve on an expired session returned $code, want 404"
+	exit 1
+fi
+kill -TERM "$SERVE_PID"
+rc=0
+wait "$SERVE_PID" || rc=$?
+SERVE_PID=""
+if [ "$rc" != 0 ]; then
+	echo "session smoke: FAIL — server exited $rc after drain"
+	exit 1
+fi
+echo "session smoke: 3 warm steps matched cold solves, idle session expired"
 
 echo "== chaos smoke (kill -9 crash recovery over the job journal)"
 JDIR="$SMOKE_DIR/journal"
