@@ -131,6 +131,18 @@ func (t *sessionTable) Get(id string, now time.Time) (*session, bool) {
 	return sess, true
 }
 
+// Alive reports whether sess is still registered. Handlers that looked a
+// session up and then acquired sess.mu must re-validate with Alive before
+// touching the solver: between Get and the lock, the reaper or LRU
+// eviction may have removed the session and parked its solver, and a
+// concurrent create may have already bound that solver to a new session.
+// Membership is tracked by lruEl, which removeLocked clears under t.mu.
+func (t *sessionTable) Alive(sess *session) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return sess.lruEl != nil
+}
+
 // Remove unregisters a session by id.
 func (t *sessionTable) Remove(id string) (*session, bool) {
 	t.mu.Lock()
@@ -333,7 +345,10 @@ type sessionCreateResponse struct {
 // sessionSolveRequest is the JSON body of POST /v1/sessions/{id}/solve.
 // Operations apply in a fixed order — pop frames, push frames, add
 // clauses, then solve under the assumptions — so one request can express
-// the common retract-extend-query cycle atomically.
+// the common retract-extend-query cycle atomically: the whole request is
+// validated (literals, clause sizes, frame depth) before the first
+// operation touches the solver, so a 400 never leaves a partially
+// applied step behind.
 type sessionSolveRequest struct {
 	Pop         int     `json:"pop,omitempty"`
 	Push        int     `json:"push,omitempty"`
@@ -423,7 +438,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	evicted, err := s.sessions.Add(sess, time.Now())
 	if err != nil {
 		// Hand the solver back to the pool rather than wasting the warmth.
+		// The session was never published, so the lock is uncontended; it is
+		// taken anyway to honor closeSession's locking contract.
+		sess.mu.Lock()
 		s.closeSession(sess, true)
+		sess.mu.Unlock()
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
@@ -474,37 +493,26 @@ func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
 			timeout = d
 		}
 	}
-	if !sess.mu.TryLock() {
-		writeError(w, http.StatusConflict, "session is busy with another solve")
-		return
-	}
-	defer sess.mu.Unlock()
-
-	for i := 0; i < req.Pop; i++ {
-		if !sess.slv.Pop() {
-			writeError(w, http.StatusBadRequest, "pop with no open frame")
+	// Validate everything that does not need solver state before taking the
+	// session lock, and the frame-depth bound right after taking it, so a
+	// rejected request mutates nothing: the step is all-or-nothing, never a
+	// committed prefix of its operations.
+	add := make([]cnf.Clause, len(req.Add))
+	for i, raw := range req.Add {
+		if len(raw) > solver.MaxAddClauseLen {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("clause of %d literals exceeds the limit of %d", len(raw), solver.MaxAddClauseLen))
 			return
 		}
-	}
-	for i := 0; i < req.Push; i++ {
-		sess.slv.Push()
-	}
-	for _, raw := range req.Add {
 		c := make(cnf.Clause, len(raw))
-		for i, l := range raw {
+		for j, l := range raw {
 			if l == 0 {
 				writeError(w, http.StatusBadRequest, "zero literal in clause")
 				return
 			}
-			c[i] = cnf.Lit(l)
+			c[j] = cnf.Lit(l)
 		}
-		if err := sess.slv.AddClause(c); err != nil {
-			writeError(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		if sess.slv.FrameDepth() == 0 {
-			sess.extended = true
-		}
+		add[i] = c
 	}
 	assumptions := make([]cnf.Lit, len(req.Assumptions))
 	for i, l := range req.Assumptions {
@@ -513,6 +521,41 @@ func (s *Server) handleSessionSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		assumptions[i] = cnf.Lit(l)
+	}
+
+	if !sess.mu.TryLock() {
+		writeError(w, http.StatusConflict, "session is busy with another solve")
+		return
+	}
+	defer sess.mu.Unlock()
+	if !s.sessions.Alive(sess) {
+		// Removed (reaper, LRU eviction, or delete) between Get and the
+		// lock; the solver may already be parked or serving a new session.
+		writeError(w, http.StatusNotFound, "unknown session id")
+		return
+	}
+	if req.Pop > sess.slv.FrameDepth() {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("pop %d with %d open frames", req.Pop, sess.slv.FrameDepth()))
+		return
+	}
+
+	for i := 0; i < req.Pop; i++ {
+		sess.slv.Pop()
+	}
+	for i := 0; i < req.Push; i++ {
+		sess.slv.Push()
+	}
+	for _, c := range add {
+		if err := sess.slv.AddClause(c); err != nil {
+			// Unreachable after the up-front checks; fail loudly if the
+			// solver grows a new rejection path.
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+	}
+	if len(add) > 0 && sess.slv.FrameDepth() == 0 {
+		sess.extended = true
 	}
 
 	solveStart := time.Now()
@@ -573,6 +616,11 @@ func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sess.mu.Unlock()
+	if !s.sessions.Alive(sess) {
+		// Removed between the lookup and the lock (see handleSessionSolve).
+		writeError(w, http.StatusNotFound, "unknown session id")
+		return
+	}
 	writeJSON(w, http.StatusOK, sessionView{
 		ID:             sess.id,
 		Policy:         sess.policy,

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -387,4 +388,120 @@ func TestSessionMetrics(t *testing.T) {
 			t.Errorf("metrics dump missing %q", want)
 		}
 	}
+}
+
+// TestSessionSolveAtomicValidation pins the all-or-nothing step contract:
+// a request rejected with 400 must leave the session exactly as it found
+// it, even when earlier operations in the request were individually valid.
+func TestSessionSolveAtomicValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cr := createSession(t, ts.URL, chainCNF, "")
+	// First clause valid, second malformed: neither may commit.
+	if _, code := sessionSolve(t, ts.URL, cr.ID, sessionSolveRequest{
+		Add: [][]int{{-4}, {2, 0}},
+	}); code != http.StatusBadRequest {
+		t.Fatalf("malformed second clause: status %d, want 400", code)
+	}
+	// Over-pop is checked before the push applies: no frame may open.
+	if _, code := sessionSolve(t, ts.URL, cr.ID, sessionSolveRequest{
+		Push: 2, Pop: 3,
+	}); code != http.StatusBadRequest {
+		t.Fatalf("over-pop: status %d, want 400", code)
+	}
+	// Over-pop also aborts the whole step before its adds.
+	if _, code := sessionSolve(t, ts.URL, cr.ID, sessionSolveRequest{
+		Pop: 1, Add: [][]int{{-4}},
+	}); code != http.StatusBadRequest {
+		t.Fatalf("over-pop with adds: status %d, want 400", code)
+	}
+	// Had any rejected operation leaked, -4 would be committed (UNSAT
+	// under assumption 1) or a frame would be open.
+	sr, code := sessionSolve(t, ts.URL, cr.ID, sessionSolveRequest{Assumptions: []int{1}})
+	if code != http.StatusOK || sr.Status != "SAT" {
+		t.Fatalf("rejected requests leaked clauses: status %d %s, want 200 SAT", code, sr.Status)
+	}
+	if sr.FrameDepth != 0 {
+		t.Fatalf("rejected requests leaked frames: depth %d, want 0", sr.FrameDepth)
+	}
+}
+
+// TestSessionSolveAfterEvictionRace replays the lookup/evict interleaving
+// handlers must survive: the session is looked up, then — before the
+// handler takes the session lock — the reaper evicts it and parks its
+// solver, and a new session resumes that same solver from the pool. The
+// stale handler must observe the removal (Alive) and answer 404 instead
+// of driving a solver now owned by the new session.
+func TestSessionSolveAfterEvictionRace(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	cr := createSession(t, ts.URL, chainCNF, "")
+	sess, ok := s.sessions.Get(cr.ID, time.Now())
+	if !ok {
+		t.Fatal("session missing")
+	}
+	// Evict exactly as the reaper does: remove, then park under the lock.
+	victim, ok := s.sessions.Remove(cr.ID)
+	if !ok || victim != sess {
+		t.Fatal("remove did not return the looked-up session")
+	}
+	victim.mu.Lock()
+	s.closeSession(victim, true)
+	victim.mu.Unlock()
+	cr2 := createSession(t, ts.URL, chainCNF, "")
+	if cr2.Pool != "hit" {
+		t.Fatalf("re-create pool = %q, want hit (parked solver resumed)", cr2.Pool)
+	}
+	if s.sessions.Alive(sess) {
+		t.Fatal("evicted session still reports alive")
+	}
+	if _, code := sessionSolve(t, ts.URL, cr.ID, sessionSolveRequest{}); code != http.StatusNotFound {
+		t.Fatalf("solve on evicted id: status %d, want 404", code)
+	}
+	sr, code := sessionSolve(t, ts.URL, cr2.ID, sessionSolveRequest{Assumptions: []int{1}})
+	if code != http.StatusOK || sr.Status != "SAT" {
+		t.Fatalf("new session on resumed solver: status %d %s, want 200 SAT", code, sr.Status)
+	}
+}
+
+// TestSessionChurnRace hammers create/solve/delete on one base formula
+// with a tiny table and TTL, so LRU eviction, idle expiry, pool
+// park/resume, and solve steps interleave constantly. Under -race this
+// catches a handler touching a solver after its session was evicted and
+// the solver rebound to a new session.
+func TestSessionChurnRace(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, SessionMax: 2, SessionTTL: 30 * time.Millisecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				// Plain requests, no test helpers: goroutines may not
+				// t.Fatal, and every status (503 table-full, 404 evicted,
+				// 409 busy) is legitimate under churn.
+				resp, err := http.Post(ts.URL+"/v1/sessions", "text/plain", strings.NewReader(chainCNF))
+				if err != nil {
+					return
+				}
+				var cr sessionCreateResponse
+				ok := resp.StatusCode == http.StatusCreated &&
+					json.NewDecoder(resp.Body).Decode(&cr) == nil
+				resp.Body.Close()
+				if !ok {
+					continue
+				}
+				body, _ := json.Marshal(sessionSolveRequest{Assumptions: []int{1 - 2*(i%2)}})
+				if resp, err := http.Post(ts.URL+"/v1/sessions/"+cr.ID+"/solve",
+					"application/json", bytes.NewReader(body)); err == nil {
+					resp.Body.Close()
+				}
+				if i%3 == 0 {
+					req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+cr.ID, nil)
+					if resp, err := http.DefaultClient.Do(req); err == nil {
+						resp.Body.Close()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
 }

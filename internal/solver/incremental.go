@@ -139,6 +139,13 @@ func (s *Solver) userLitOf(l lit) (cnf.Lit, bool) {
 	return c, true
 }
 
+// MaxAddClauseLen is the largest clause AddClause is guaranteed to accept:
+// the arena header caps the representable clause size, and one literal of
+// headroom is reserved for the activation guard appended under an open
+// frame. Callers that need all-or-nothing batch semantics (the server's
+// session step) validate against this before mutating the solver.
+const MaxAddClauseLen = maxClauseSize - 1
+
 // AddClause installs one clause between solves (IPASIR add). New user
 // variables are allocated on sight. Under an open frame the clause belongs
 // to that frame and dies with its Pop; otherwise it is permanent. An empty

@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"context"
 	"testing"
 
 	"neuroselect/internal/cnf"
@@ -531,4 +532,45 @@ func TestIncrementalInvariants(t *testing.T) {
 	s.SolveUnderAssumptions(nil)
 	checkWatchInvariant(t, s)
 	checkArenaInvariant(t, s)
+}
+
+// TestSolveHonorsOpenFrames pins the one-shot Solve/SolveContext entry
+// points to the same semantics as SolveUnderAssumptions when Push frames
+// are open: clauses added under a frame constrain the answer. (The plain
+// search loop used to ignore the frames' activation literals, so Solve
+// could return Sat with a model violating frame clauses.)
+func TestSolveHonorsOpenFrames(t *testing.T) {
+	f := cnf.New(2)
+	f.MustAddClause(-1, 2) // 1 → 2
+	s, err := New(f, incrementalOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Push()
+	for _, c := range []cnf.Clause{{1}, {-2}} {
+		if err := s.AddClause(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("Solve with contradictory frame clauses = %v, want Unsat", st)
+	}
+	// Frame-only UNSAT must not poison the solver: popping restores SAT.
+	if !s.Pop() {
+		t.Fatal("Pop with an open frame returned false")
+	}
+	if st := s.Solve(); st != Sat {
+		t.Fatalf("Solve after Pop = %v, want Sat", st)
+	}
+	// A satisfiable frame still constrains the model.
+	s.Push()
+	if err := s.AddClause(cnf.Clause{1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.SolveContext(context.Background()); st != Sat {
+		t.Fatalf("SolveContext with satisfiable frame = %v, want Sat", st)
+	}
+	if m := s.Model(); !m.Value(1) || !m.Value(2) {
+		t.Fatalf("model %v violates the frame clause {1} or the chain 1→2", m)
+	}
 }

@@ -594,7 +594,8 @@ func (s *Solver) bumpClause(c cref) {
 func (s *Solver) decayClause() { s.clsInc /= s.opts.ClauseDecay }
 
 // Solve runs the CDCL search until the formula is decided or a budget
-// expires.
+// expires. Open Push frames are honored: their clauses constrain the
+// answer exactly as they do for SolveUnderAssumptions.
 func (s *Solver) Solve() Status { return s.SolveContext(context.Background()) }
 
 // SolveContext is Solve under a context: cancellation and the context
@@ -617,7 +618,16 @@ func (s *Solver) SolveContext(ctx context.Context) Status {
 		}
 		t.Trace(ev)
 	}
-	st := s.solveLoop()
+	var st Status
+	if len(s.frames) > 0 {
+		// Clauses under open frames are guarded by activation literals that
+		// only the assumption path asserts; the plain loop would treat them
+		// as satisfiable via their free guards and could answer Sat with a
+		// model violating frame clauses.
+		st, _ = s.SolveUnderAssumptions(nil)
+	} else {
+		st = s.solveLoop()
+	}
 	if t != nil {
 		ev := s.traceEvent(obs.EventSolveEnd)
 		ev.Status = st.String()
