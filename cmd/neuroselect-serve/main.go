@@ -9,17 +9,34 @@
 //	                  [-breaker-threshold N] [-breaker-cooldown D]
 //	                  [-breaker-max-latency D] [-session-max N]
 //	                  [-session-ttl D] [-session-max-mem BYTES]
+//	                  [-log-format off|text|json] [-sse-heartbeat D]
+//	                  [-event-ring N] [-event-queue N]
 //
 // Endpoints (full contract in API.md):
 //
 //	POST   /v1/solve               DIMACS CNF body (raw or gzip) → solve result JSON
 //	POST   /v1/jobs                same body → async job id
-//	GET    /v1/jobs/{id}           poll an async job
+//	GET    /v1/jobs/{id}           poll an async job (live progress while running)
+//	GET    /v1/jobs/{id}/events    stream the job's trace events as SSE
 //	POST   /v1/sessions            DIMACS body → warm incremental session id
 //	POST   /v1/sessions/{id}/solve JSON step (pop/push/add/assumptions) → result
 //	GET    /v1/sessions/{id}       session info
 //	DELETE /v1/sessions/{id}       close a session (parks the warm solver)
 //	GET    /healthz                liveness (503 while draining)
+//
+// -log-format turns on the structured access log on stderr: one line per
+// request (method, path, status, bytes, duration, request id, cache/dedup
+// outcome) as logfmt-style text or JSON objects, sampled under flood.
+// Every response carries an X-Request-ID (echoed from the request when
+// well-formed, generated otherwise) that correlates the access line with
+// journal records, streamed trace events, and job views.
+//
+// -event-ring/-event-queue/-sse-heartbeat size the live telemetry layer:
+// each async job keeps its last -event-ring trace events for Last-Event-ID
+// replay, each SSE subscriber buffers up to -event-queue pending events
+// (beyond that events are dropped and counted — a slow client never slows
+// the solve), and idle streams emit a keep-alive comment every
+// -sse-heartbeat.
 //
 // The -session-* flags bound the warm incremental sessions behind
 // /v1/sessions: at most -session-max live sessions (LRU-evicted beyond
@@ -49,6 +66,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -85,7 +103,22 @@ func run() int {
 	sessionMax := flag.Int("session-max", 64, "maximum live warm incremental sessions; creating past the bound evicts the least-recently-used idle one")
 	sessionTTL := flag.Duration("session-ttl", 5*time.Minute, "idle time after which a warm session (or parked pool solver) expires")
 	sessionMaxMem := flag.Int64("session-max-mem", 256<<20, "per-session solver footprint cap in bytes; a solve that grows past it closes the session")
+	logFormat := flag.String("log-format", "off", "structured access log on stderr: off, text, or json (one line per request, sampled under flood)")
+	sseHeartbeat := flag.Duration("sse-heartbeat", 15*time.Second, "keep-alive comment interval on idle SSE event streams")
+	eventRing := flag.Int("event-ring", 256, "per-job replay ring for GET /v1/jobs/{id}/events, in trace events")
+	eventQueue := flag.Int("event-queue", 256, "per-subscriber SSE queue depth; events past it are dropped and counted, never block the solve")
 	flag.Parse()
+
+	var accessLog *slog.Logger
+	switch *logFormat {
+	case "off", "":
+	case "text":
+		accessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		accessLog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		return fail(fmt.Errorf("bad -log-format %q: want off, text, or json", *logFormat))
+	}
 
 	reg := obs.NewRegistry()
 	obs.RegisterProcessMetrics(reg, time.Now())
@@ -129,6 +162,10 @@ func run() int {
 		SessionMax:        *sessionMax,
 		SessionTTL:        *sessionTTL,
 		SessionMaxMem:     *sessionMaxMem,
+		EventRing:         *eventRing,
+		EventQueue:        *eventQueue,
+		SSEHeartbeat:      *sseHeartbeat,
+		AccessLog:         accessLog,
 		Selector:          sel,
 		Registry:          reg,
 	})

@@ -137,9 +137,15 @@ func run() int {
 			return fail(err)
 		}
 		jt := obs.NewJSONLTracer(tf)
+		if reg != nil {
+			jt.CountDropsIn(reg) // lost trace events surface on /metrics
+		}
 		defer func() {
 			if err := jt.Flush(); err != nil {
 				fmt.Fprintln(os.Stderr, "satsolve: trace:", err)
+			}
+			if n := jt.Dropped(); n > 0 {
+				fmt.Fprintf(os.Stderr, "satsolve: trace: %d events lost to a write error\n", n)
 			}
 			tf.Close()
 		}()

@@ -96,6 +96,11 @@ type Event struct {
 	Imported int64 `json:"imported,omitempty"`
 	Filtered int64 `json:"filtered,omitempty"`
 	Dropped  int64 `json:"dropped,omitempty"`
+
+	// Request correlation (streamed events only): the X-Request-ID of the
+	// HTTP request that started the solve, stamped by the serving layer's
+	// Broadcaster. Absent in offline JSONL traces.
+	ReqID string `json:"req_id,omitempty"`
 }
 
 // Tracer receives structured search events. Implementations may retain the
@@ -137,11 +142,16 @@ func (m multiTracer) Trace(ev *Event) {
 
 // JSONLTracer streams events as JSON Lines: one object per event, schema
 // defined by the Event struct tags. It is safe for concurrent use; the
-// first write error is sticky and surfaces from Flush.
+// first write error is sticky and surfaces from Flush. Events arriving
+// after the stream has gone bad are counted as dropped — never silently
+// discarded — readable via Dropped and exportable as the
+// neuroselect_obs_dropped_events_total{sink="jsonl"} self-metric.
 type JSONLTracer struct {
-	mu  sync.Mutex
-	w   *bufio.Writer
-	err error
+	mu      sync.Mutex
+	w       *bufio.Writer
+	err     error
+	dropped int64
+	drops   *Counter // nil until CountDropsIn
 }
 
 // NewJSONLTracer wraps w in a buffered JSONL event sink. Call Flush before
@@ -150,23 +160,54 @@ func NewJSONLTracer(w io.Writer) *JSONLTracer {
 	return &JSONLTracer{w: bufio.NewWriter(w)}
 }
 
-// Trace encodes one event as a JSON line.
+// CountDropsIn registers the tracer's drop count as the obs self-metric
+// neuroselect_obs_dropped_events_total{sink="jsonl"} in reg. Returns t for
+// chaining at construction.
+func (t *JSONLTracer) CountDropsIn(reg *Registry) *JSONLTracer {
+	c := reg.Counter(DroppedEventsMetric, droppedEventsHelp, Labels{"sink": "jsonl"})
+	t.mu.Lock()
+	t.drops = c
+	t.mu.Unlock()
+	return t
+}
+
+// Trace encodes one event as a JSON line. An event lost to a marshal
+// failure or a (possibly sticky) write error counts as dropped.
 func (t *JSONLTracer) Trace(ev *Event) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.err != nil {
+		t.dropLocked()
 		return
 	}
 	b, err := json.Marshal(ev)
 	if err != nil {
 		t.err = err
+		t.dropLocked()
 		return
 	}
 	if _, err := t.w.Write(b); err != nil {
 		t.err = err
+		t.dropLocked()
 		return
 	}
-	t.err = t.w.WriteByte('\n')
+	if t.err = t.w.WriteByte('\n'); t.err != nil {
+		t.dropLocked()
+	}
+}
+
+func (t *JSONLTracer) dropLocked() {
+	t.dropped++
+	if t.drops != nil {
+		t.drops.Inc()
+	}
+}
+
+// Dropped returns how many events were lost to encode/write errors.
+func (t *JSONLTracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Flush drains the buffer and returns the first error seen on the stream.

@@ -86,9 +86,11 @@ func (w failWriter) Write(p []byte) (int, error) { return 0, w.err }
 
 func TestJSONLTracerStickyError(t *testing.T) {
 	boom := errors.New("disk full")
-	tr := NewJSONLTracer(failWriter{boom})
+	reg := NewRegistry()
+	tr := NewJSONLTracer(failWriter{boom}).CountDropsIn(reg)
 	// Overflow the bufio buffer so the write error surfaces.
 	big := Event{Type: EventWindow, Policy: strings.Repeat("x", 1<<16)}
+	tr.Trace(&big)
 	tr.Trace(&big)
 	tr.Trace(&big)
 	if err := tr.Flush(); !errors.Is(err, boom) {
@@ -96,6 +98,27 @@ func TestJSONLTracerStickyError(t *testing.T) {
 	}
 	if err := tr.Flush(); !errors.Is(err, boom) {
 		t.Fatalf("second Flush() = %v, want sticky %v", err, boom)
+	}
+	// Every event lost to the bad stream is counted, not swallowed: the
+	// first Trace hits the write error itself, the rest hit the sticky err.
+	if got := tr.Dropped(); got != 3 {
+		t.Fatalf("Dropped() = %d, want 3", got)
+	}
+	c := reg.Counter(DroppedEventsMetric, droppedEventsHelp, Labels{"sink": "jsonl"})
+	if got := c.Value(); got != 3 {
+		t.Fatalf("self-metric = %d, want 3", got)
+	}
+}
+
+func TestJSONLTracerNoDropsOnHealthyStream(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	tr.Trace(&Event{Type: EventWindow})
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Fatalf("healthy stream dropped %d events", got)
 	}
 }
 

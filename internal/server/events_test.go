@@ -1,0 +1,544 @@
+package server
+
+// Edge-case coverage for the SSE event stream (events.go): subscribing
+// before the job starts, mid-solve, and after completion; Last-Event-ID
+// resume and ring-eviction gaps; slow-reader drop accounting; drain
+// behavior; and the request-correlation plumbing the stream rides on.
+// Everything here must pass under -race — the stream is the one endpoint
+// where a handler goroutine and the solver share a live channel.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"neuroselect/internal/obs"
+)
+
+// sseFrame is one parsed `id:`/`event:`/`data:` SSE frame.
+type sseFrame struct {
+	ID    string
+	Event string
+	Data  string
+}
+
+// readSSE consumes a stream to EOF, splitting frames from comment lines.
+func readSSE(t *testing.T, r io.Reader) (frames []sseFrame, comments []string) {
+	t.Helper()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var cur sseFrame
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur != (sseFrame{}) {
+				frames = append(frames, cur)
+				cur = sseFrame{}
+			}
+		case strings.HasPrefix(line, ":"):
+			comments = append(comments, line)
+		case strings.HasPrefix(line, "id: "):
+			cur.ID = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			cur.Event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.Data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read SSE stream: %v", err)
+	}
+	return frames, comments
+}
+
+// getEvents opens the job's event stream, asserting the SSE content type.
+func getEvents(t *testing.T, base, id, lastEventID string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("events = %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q, want text/event-stream", ct)
+	}
+	return resp
+}
+
+// A subscriber connecting after completion replays the whole ring and
+// ends with a done event whose data is the poll body, byte-identical.
+func TestEventsPostCompletionReplay(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	id := submitJob(t, ts.URL, satCNF)
+	waitJobState(t, ts.URL, id, JobDone)
+
+	presp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pollRaw, err := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp := getEvents(t, ts.URL, id, "")
+	defer resp.Body.Close()
+	frames, comments := readSSE(t, resp.Body)
+	if len(comments) != 0 {
+		t.Errorf("unexpected comments on full replay: %q", comments)
+	}
+	if len(frames) < 3 {
+		t.Fatalf("got %d frames, want at least solve_start, solve_end, done", len(frames))
+	}
+	if frames[0].Event != obs.EventSolveStart {
+		t.Errorf("first event = %q, want %s", frames[0].Event, obs.EventSolveStart)
+	}
+	if got := frames[len(frames)-2].Event; got != obs.EventSolveEnd {
+		t.Errorf("last trace event = %q, want %s", got, obs.EventSolveEnd)
+	}
+	last := frames[len(frames)-1]
+	if last.Event != "done" {
+		t.Fatalf("final event = %q, want done", last.Event)
+	}
+	// Stream ids are the resume cursor: strictly increasing from 1.
+	for i, fr := range frames {
+		n, err := strconv.ParseInt(fr.ID, 10, 64)
+		if err != nil || n != int64(i+1) {
+			t.Fatalf("frame %d id = %q, want %d", i, fr.ID, i+1)
+		}
+	}
+	// The done data is the poll body (writeJSON appends only a newline).
+	if last.Data+"\n" != string(pollRaw) {
+		t.Errorf("done event data diverges from poll body:\n done: %s\n poll: %s", last.Data, pollRaw)
+	}
+	// Every streamed trace event carries the submitting request's id.
+	var ev obs.Event
+	if err := json.Unmarshal([]byte(frames[0].Data), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.ReqID == "" {
+		t.Error("streamed event missing req_id correlation")
+	}
+}
+
+// A subscriber on a still-queued job holds an idle stream: heartbeat
+// comments keep it alive until the worker frees up, then live events and
+// the final done arrive on the same connection.
+func TestEventsPreStartHeartbeatThenDone(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, SSEHeartbeat: 30 * time.Millisecond})
+
+	// Occupy the single worker long enough for heartbeats to tick.
+	blocker := post(t, ts.URL+"/v1/jobs?timeout=500ms", phpDIMACS(t, 10))
+	var bv jobView
+	if err := json.NewDecoder(blocker.Body).Decode(&bv); err != nil {
+		t.Fatal(err)
+	}
+	blocker.Body.Close()
+
+	id := submitJob(t, ts.URL, satCNF)
+	resp := getEvents(t, ts.URL, id, "")
+	defer resp.Body.Close()
+	frames, comments := readSSE(t, resp.Body)
+
+	var beats int
+	for _, c := range comments {
+		if strings.HasPrefix(c, ": hb") {
+			beats++
+		}
+	}
+	if beats == 0 {
+		t.Error("no heartbeat comments while the job sat in the queue")
+	}
+	if len(frames) == 0 || frames[len(frames)-1].Event != "done" {
+		t.Fatalf("stream did not end with done: %+v", frames)
+	}
+}
+
+// A mid-solve subscriber tails live window events; the poll body carries
+// the progress rollup while the solve runs; the subscriber gauge tracks
+// the open stream.
+func TestEventsMidSolveProgressAndGauge(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	resp0 := post(t, ts.URL+"/v1/jobs?timeout=10s", phpDIMACS(t, 9))
+	var v0 jobView
+	if err := json.NewDecoder(resp0.Body).Decode(&v0); err != nil {
+		t.Fatal(err)
+	}
+	resp0.Body.Close()
+	id := v0.ID
+
+	resp := getEvents(t, ts.URL, id, "")
+	defer resp.Body.Close()
+
+	waitGauge := func(want float64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if s.m.streamSubs.Value() == want {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		t.Fatalf("event_stream_subscribers = %v, want %v", s.m.streamSubs.Value(), want)
+	}
+	waitGauge(1)
+
+	// Tail the live stream until the first conflict-window rollup.
+	sc := bufio.NewScanner(resp.Body)
+	sawWindow := false
+	for sc.Scan() {
+		if sc.Text() == "event: "+obs.EventWindow {
+			sawWindow = true
+			break
+		}
+	}
+	if !sawWindow {
+		t.Fatalf("stream ended without a window event (scan err: %v)", sc.Err())
+	}
+
+	// The job is mid-solve: its poll body must carry live progress.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v := pollJob(t, ts.URL, id)
+		if v.Status == JobDone {
+			t.Fatal("job finished before a progress rollup was observed in a poll")
+		}
+		if v.Progress != nil {
+			if v.Progress.Conflicts <= 0 || v.Progress.TimeNS <= 0 {
+				t.Fatalf("implausible progress: %+v", v.Progress)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no progress object in any poll of a running job")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp.Body.Close() // disconnect: the gauge must fall back to zero
+	waitGauge(0)
+}
+
+// Last-Event-ID resumes exactly past the acknowledged event, and a resume
+// from the done event's id replays nothing but the done summary.
+func TestEventsLastEventIDResume(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	id := submitJob(t, ts.URL, satCNF)
+	waitJobState(t, ts.URL, id, JobDone)
+
+	resp := getEvents(t, ts.URL, id, "")
+	full, _ := readSSE(t, resp.Body)
+	resp.Body.Close()
+	if len(full) < 3 {
+		t.Fatalf("need at least 3 frames to exercise resume, got %d", len(full))
+	}
+
+	// Resume after the first event: the replay starts at id 2.
+	resp = getEvents(t, ts.URL, id, full[0].ID)
+	resumed, comments := readSSE(t, resp.Body)
+	resp.Body.Close()
+	if len(comments) != 0 {
+		t.Errorf("in-ring resume produced comments: %q", comments)
+	}
+	if len(resumed) != len(full)-1 {
+		t.Fatalf("resume after id %s returned %d frames, want %d", full[0].ID, len(resumed), len(full)-1)
+	}
+	if resumed[0].ID != full[1].ID || resumed[0].Event != full[1].Event {
+		t.Errorf("resume started at %+v, want %+v", resumed[0], full[1])
+	}
+
+	// Resume from the done id: only the done summary again.
+	doneID := full[len(full)-1].ID
+	resp = getEvents(t, ts.URL, id, doneID)
+	tail, comments := readSSE(t, resp.Body)
+	resp.Body.Close()
+	if len(comments) != 0 {
+		t.Errorf("done-id resume produced comments: %q", comments)
+	}
+	if len(tail) != 1 || tail[0].Event != "done" || tail[0].ID != doneID {
+		t.Errorf("resume from done id = %+v, want a single done frame with id %s", tail, doneID)
+	}
+}
+
+// When the replay ring has evicted events a subscriber asked for, the gap
+// is acknowledged with a comment instead of silently skipped.
+func TestEventsRingEvictionGap(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, EventRing: 1})
+	id := submitJob(t, ts.URL, satCNF)
+	waitJobState(t, ts.URL, id, JobDone)
+
+	resp := getEvents(t, ts.URL, id, "")
+	frames, comments := readSSE(t, resp.Body)
+	resp.Body.Close()
+
+	gapped := false
+	for _, c := range comments {
+		if strings.HasPrefix(c, ": gap:") {
+			gapped = true
+		}
+	}
+	if !gapped {
+		t.Errorf("ring of 1 evicted events but no gap comment was sent: %q", comments)
+	}
+	// Only the newest trace event survives the ring, then done.
+	if len(frames) != 2 || frames[0].Event != obs.EventSolveEnd || frames[1].Event != "done" {
+		t.Errorf("frames after eviction = %+v, want [solve_end done]", frames)
+	}
+}
+
+// Unknown jobs and jobs evicted from the done history 404 on the stream
+// exactly like they do on the poll.
+func TestEventsNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, JobHistory: 1})
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/nonexistent/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job events = %d, want 404", resp.StatusCode)
+	}
+
+	idA := submitJob(t, ts.URL, satCNF)
+	waitJobState(t, ts.URL, idA, JobDone)
+	idB := submitJob(t, ts.URL, unsatCNF)
+	waitJobState(t, ts.URL, idB, JobDone) // history of 1: B evicts A
+
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + idA + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job events = %d, want 404", resp.StatusCode)
+	}
+}
+
+// A subscriber that never reads has events dropped from its queue and
+// counted — on the subscription, and on the service's dropped-outcome
+// counter via the broadcaster's OnDrop hook. The solve itself is the
+// neutrality test's concern (solver/trace_test.go); here we pin the
+// accounting.
+func TestEventsSlowReaderDropAccounting(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	resp0 := post(t, ts.URL+"/v1/jobs?timeout=2s", phpDIMACS(t, 9))
+	var v0 jobView
+	if err := json.NewDecoder(resp0.Body).Decode(&v0); err != nil {
+		t.Fatal(err)
+	}
+	resp0.Body.Close()
+
+	j, ok := s.jobs.Get(v0.ID)
+	if !ok {
+		t.Fatal("submitted job vanished")
+	}
+	sub, _ := j.bcast.Subscribe(0, 1) // queue of one, never read
+	defer sub.Cancel()
+
+	waitJobState(t, ts.URL, v0.ID, JobDone)
+	if sub.Dropped() == 0 {
+		t.Error("stalled subscriber recorded no drops across a 2s php-9 solve")
+	}
+	if got := s.m.streamEv("dropped").Value(); got < sub.Dropped() {
+		t.Errorf("event_stream_events_total{outcome=dropped} = %d, want >= %d", got, sub.Dropped())
+	}
+}
+
+// Draining does not cut live streams: the in-flight job finishes, its
+// stream terminates with the done summary, and new subscriptions on
+// existing jobs are still served while submissions are refused.
+func TestEventsDrainDuringStream(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	resp0 := post(t, ts.URL+"/v1/jobs?timeout=500ms", phpDIMACS(t, 10))
+	var v0 jobView
+	if err := json.NewDecoder(resp0.Body).Decode(&v0); err != nil {
+		t.Fatal(err)
+	}
+	resp0.Body.Close()
+	waitJobState(t, ts.URL, v0.ID, JobRunning)
+
+	resp := getEvents(t, ts.URL, v0.ID, "")
+	defer resp.Body.Close()
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// A second subscriber connecting during the drain is admitted.
+	resp2 := getEvents(t, ts.URL, v0.ID, "")
+	frames2, _ := readSSE(t, resp2.Body)
+	resp2.Body.Close()
+	if len(frames2) == 0 || frames2[len(frames2)-1].Event != "done" {
+		t.Errorf("drain-time subscriber stream = %+v, want termination with done", frames2)
+	}
+
+	frames, _ := readSSE(t, resp.Body)
+	if len(frames) == 0 || frames[len(frames)-1].Event != "done" {
+		t.Errorf("stream over a drain = %+v, want termination with done", frames)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// The Retry-After on a drain-refused request is the live backlog estimate,
+// not a constant: a parseable integer in the documented [1, 120] range.
+func TestDrainRetryAfterEstimate(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	resp0 := post(t, ts.URL+"/v1/jobs?timeout=300ms", phpDIMACS(t, 10))
+	resp0.Body.Close()
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	for !s.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := post(t, ts.URL+"/v1/solve", satCNF)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("solve during drain = %d, want 503", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	sec, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After = %q, want an integer: %v", ra, err)
+	}
+	if sec < 1 || sec > 120 {
+		t.Errorf("Retry-After = %d, want within [1, 120]", sec)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// X-Request-ID: well-formed client ids are echoed and stamped into the
+// job view; missing or malformed ones are replaced by a generated id.
+func TestRequestIDCorrelation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	do := func(reqID string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reqID != "" {
+			req.Header.Set("X-Request-ID", reqID)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if got := do("client-abc-123").Header.Get("X-Request-ID"); got != "client-abc-123" {
+		t.Errorf("well-formed id echoed as %q", got)
+	}
+	if got := do("").Header.Get("X-Request-ID"); len(got) != 16 {
+		t.Errorf("generated id = %q, want 16 hex chars", got)
+	}
+	if got := do("has space").Header.Get("X-Request-ID"); got == "has space" || len(got) != 16 {
+		t.Errorf("malformed id accepted or not regenerated: %q", got)
+	}
+	if got := do(strings.Repeat("x", 129)).Header.Get("X-Request-ID"); len(got) != 16 {
+		t.Errorf("oversized id accepted or not regenerated: %q", got)
+	}
+
+	// The submitting request's id lands in the job view at submit and poll.
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(satCNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "submit-req-7")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v.ReqID != "submit-req-7" {
+		t.Errorf("submit view req_id = %q, want submit-req-7", v.ReqID)
+	}
+	if pv := waitJobState(t, ts.URL, v.ID, JobDone); pv.ReqID != "submit-req-7" {
+		t.Errorf("poll view req_id = %q, want submit-req-7", pv.ReqID)
+	}
+}
+
+// The correlation id is durable: the journal's submit record carries it,
+// so a crash-replayed job stays attributable to the original request.
+func TestJournalCarriesRequestID(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestServer(t, Config{Workers: 1, JournalDir: dir})
+
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/jobs", strings.NewReader(satCNF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Request-ID", "journal-corr-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitJobState(t, ts.URL, v.ID, JobDone)
+
+	raw, err := os.ReadFile(filepath.Join(dir, "journal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var rec journalRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		if rec.ID == v.ID && rec.ReqID == "journal-corr-1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no journal record for job %s carrying req_id journal-corr-1:\n%s", v.ID, raw)
+	}
+}

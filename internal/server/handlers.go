@@ -21,29 +21,35 @@ import (
 //	POST   /v1/solve               synchronous solve (blocks until the result)
 //	POST   /v1/jobs                asynchronous solve (returns a job id)
 //	GET    /v1/jobs/{id}           poll an async job
+//	GET    /v1/jobs/{id}/events    live trace-event stream (SSE; see events.go)
 //	POST   /v1/sessions            create a warm incremental session
 //	POST   /v1/sessions/{id}/solve incremental step on a session
 //	GET    /v1/sessions/{id}       session info
 //	DELETE /v1/sessions/{id}       close a session (parks the warm solver)
 //	GET    /healthz                liveness (503 while draining)
 //
-// Mount it on an http.Server; metrics exposition lives on the registry's
-// own listener (obs.Serve), keeping the data plane and the telemetry
-// plane on separate ports.
+// Every request flows through the correlation-id middleware (X-Request-ID
+// generated or echoed) and, when Config.AccessLog is set, the structured
+// access log. Mount it on an http.Server; metrics exposition lives on the
+// registry's own listener (obs.Serve), keeping the data plane and the
+// telemetry plane on separate ports.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.instrument("solve", s.handleSolve))
 	mux.HandleFunc("POST /v1/jobs", s.instrument("jobs", s.handleSubmit))
 	mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("poll", s.handlePoll))
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.instrument("events", s.handleJobEvents))
 	mux.HandleFunc("POST /v1/sessions", s.instrument("session-create", s.handleSessionCreate))
 	mux.HandleFunc("POST /v1/sessions/{id}/solve", s.instrument("session-solve", s.handleSessionSolve))
 	mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("session-info", s.handleSessionInfo))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("session-delete", s.handleSessionDelete))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return mux
+	return withRequestID(s.logAccess(mux))
 }
 
 // statusRecorder captures the response code for the request counters.
+// Unwrap lets http.ResponseController reach the real writer's Flusher,
+// which the SSE endpoint depends on.
 type statusRecorder struct {
 	http.ResponseWriter
 	code int
@@ -53,6 +59,8 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
 }
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // instrument wraps a handler with the per-endpoint latency histogram and
 // request counter.
@@ -220,12 +228,15 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, *http
 	return body, nil
 }
 
-// refuseIfDraining sheds new work during graceful shutdown.
+// refuseIfDraining sheds new work during graceful shutdown. Retry-After
+// comes from the same live backlog estimate the 429 shed path uses — a
+// draining server with a deep queue should not invite clients back in one
+// second.
 func (s *Server) refuseIfDraining(w http.ResponseWriter) bool {
 	if !s.Draining() {
 		return false
 	}
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	writeError(w, http.StatusServiceUnavailable, "server is draining")
 	return true
 }
@@ -245,6 +256,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.code, herr.msg)
 		return
 	}
+	j.reqID = requestIDFrom(r.Context())
 	if j.key != "" {
 		if e, ok := s.cacheGet(j.key); ok {
 			s.m.cacheEv("hit").Inc()
@@ -290,6 +302,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	if j.shared {
 		w.Header().Set("X-Dedup", "shared")
+		if lr := j.leaderReqID(); lr != "" {
+			w.Header().Set("X-Leader-Request-ID", lr)
+		}
 	}
 	if j.trace {
 		w.Header().Set("X-Cache", "bypass")
@@ -324,15 +339,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.code, herr.msg)
 		return
 	}
+	j.reqID = requestIDFrom(r.Context())
+	// Every async job gets its event stream before it becomes findable:
+	// a subscriber may connect the moment the id is out.
+	s.initJobStream(j)
 	if j.key != "" {
 		if e, ok := s.cacheGet(j.key); ok {
 			s.m.cacheEv("hit").Inc()
 			s.m.solves(e.policy, "cached").Inc()
 			j.cached = true
-			id := s.jobs.Add(j)
+			s.jobs.Add(j)
 			j.completeFromCache(e.body)
 			s.jobs.NoteDone(j)
-			writeJSON(w, http.StatusOK, jobView{ID: id, Status: JobDone, Cached: true, Result: e.body})
+			writeJSON(w, http.StatusOK, j.view())
 			return
 		}
 		s.m.cacheEv("miss").Inc()
@@ -348,37 +367,34 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if s.joinFlight(j) != nil {
 			s.m.dedup("jobs").Inc()
 			w.Header().Set("X-Dedup", "shared")
-			writeJSON(w, http.StatusAccepted, jobView{ID: id, Status: JobQueued, Shared: true})
+			writeJSON(w, http.StatusAccepted, jobView{ID: id, Status: JobQueued, Shared: true, ReqID: j.reqID})
 			return
 		}
 	}
 	if !s.enqueue(j) {
 		s.abortFlight(j, http.StatusTooManyRequests, "queue full: retry later")
 		s.journalDone(j, "shed")
+		// Terminate the stream before the id is forgotten so a subscriber
+		// that raced in sees a clean end, not a silent hang.
+		j.fail(http.StatusTooManyRequests, "queue full: retry later")
+		j.finish()
 		s.jobs.Remove(id)
 		s.shedResponse(w)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, jobView{ID: id, Status: JobQueued})
+	writeJSON(w, http.StatusAccepted, jobView{ID: id, Status: JobQueued, ReqID: j.reqID})
 }
 
-// handlePoll is GET /v1/jobs/{id}.
+// handlePoll is GET /v1/jobs/{id}. The body is j.view(): state, outcome,
+// correlation ids, and — while the solve runs — the live progress object
+// fed by the solver's conflict-window rollups.
 func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.Get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown job id")
 		return
 	}
-	state, body, errCode, errMsg := j.snapshot()
-	view := jobView{ID: j.id, Status: state, Cached: j.cached, Shared: j.shared}
-	if state == JobDone {
-		if errCode != 0 {
-			view.Error = fmt.Sprintf("%d: %s", errCode, errMsg)
-		} else {
-			view.Result = body
-		}
-	}
-	writeJSON(w, http.StatusOK, view)
+	writeJSON(w, http.StatusOK, j.view())
 }
 
 // handleHealth is GET /healthz: 200 "ok" while serving, 503 "draining"

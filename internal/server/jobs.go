@@ -45,16 +45,29 @@ type job struct {
 	ctx      context.Context // request ctx (sync) or server base ctx (async)
 	enqueued time.Time
 
+	// reqID is the X-Request-ID of the request that created the job,
+	// immutable after admission: stamped into journal records, streamed
+	// trace events, and the job view.
+	reqID string
+	// bcast fans the job's live trace-event stream out to SSE subscribers
+	// (async jobs only; see events.go). Closed exactly once when the job
+	// reaches its terminal state, which is what ends every open stream.
+	bcast *obs.Broadcaster
+	// progress receives the solver's conflict-window rollups for the live
+	// `progress` object in poll bodies (async jobs only).
+	progress *solver.ProgressSink
+
 	// followers are identical keyed jobs riding this one (guarded by the
 	// server's flight-table mutex, not j.mu — see flight.go).
 	followers []*job
 
-	mu      sync.Mutex
-	state   string
-	done    chan struct{}
-	body    []byte // marshaled solveResponse on success
-	errCode int    // non-zero on failure
-	errMsg  string
+	mu        sync.Mutex
+	state     string
+	done      chan struct{}
+	body      []byte // marshaled solveResponse on success
+	errCode   int    // non-zero on failure
+	errMsg    string
+	leaderReq string // dedup followers: the flight leader's request id
 }
 
 func newJob(f *cnf.Formula) *job {
@@ -83,6 +96,8 @@ func (j *job) fail(code int, msg string) {
 
 // finish marks the job done and wakes every waiter. A job that reaches
 // the worker without an explicit outcome (impossible today) fails closed.
+// The broadcaster closes after the terminal state publishes, so an event
+// stream that ends always finds the final result behind it.
 func (j *job) finish() {
 	j.mu.Lock()
 	if j.body == nil && j.errCode == 0 {
@@ -91,6 +106,23 @@ func (j *job) finish() {
 	j.state = JobDone
 	j.mu.Unlock()
 	close(j.done)
+	if j.bcast != nil {
+		j.bcast.Close()
+	}
+}
+
+// setLeaderReq records the flight leader's request id on a dedup follower.
+func (j *job) setLeaderReq(id string) {
+	j.mu.Lock()
+	j.leaderReq = id
+	j.mu.Unlock()
+}
+
+// leaderReqID returns the recorded leader request id ("" for leaders).
+func (j *job) leaderReqID() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.leaderReq
 }
 
 // reset clears a failed attempt's outcome so the job can be re-admitted
@@ -111,6 +143,9 @@ func (j *job) completeFromCache(body []byte) {
 	j.body = body
 	j.state = JobDone
 	close(j.done)
+	if j.bcast != nil {
+		j.bcast.Close()
+	}
 }
 
 // snapshot returns the job's current state and outcome for rendering.
@@ -118,6 +153,36 @@ func (j *job) snapshot() (state string, body []byte, errCode int, errMsg string)
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.state, j.body, j.errCode, j.errMsg
+}
+
+// view renders the job as its poll body. The same bytes serve
+// GET /v1/jobs/{id} and the SSE stream's final `done` event, so the two
+// are byte-identical for a finished job. The live progress object appears
+// only while the job is queued/running and a window rollup exists.
+func (j *job) view() jobView {
+	state, body, errCode, errMsg := j.snapshot()
+	v := jobView{
+		ID:          j.id,
+		Status:      state,
+		Cached:      j.cached,
+		Shared:      j.shared,
+		ReqID:       j.reqID,
+		LeaderReqID: j.leaderReqID(),
+	}
+	if state == JobDone {
+		if errCode != 0 {
+			v.Error = fmt.Sprintf("%d: %s", errCode, errMsg)
+		} else {
+			v.Result = body
+		}
+		return v
+	}
+	if j.progress != nil {
+		if p, ok := j.progress.Load(); ok {
+			v.Progress = &p
+		}
+	}
+	return v
 }
 
 // solveResponse is the JSON body of a completed solve. Field names are
@@ -167,7 +232,8 @@ type timings struct {
 	TotalNS int64 `json:"total_ns"` // enqueue → response marshaled
 }
 
-// jobView is the JSON body of GET /v1/jobs/{id} and POST /v1/jobs.
+// jobView is the JSON body of GET /v1/jobs/{id} and POST /v1/jobs, and
+// the data of the SSE stream's final `done` event. Append-only schema.
 type jobView struct {
 	ID     string          `json:"id"`
 	Status string          `json:"status"` // queued | running | done
@@ -175,6 +241,14 @@ type jobView struct {
 	Shared bool            `json:"shared,omitempty"` // result produced by a deduplicated identical solve
 	Error  string          `json:"error,omitempty"`
 	Result json.RawMessage `json:"result,omitempty"` // a solveResponse once done
+	// ReqID is the X-Request-ID of the submitting request; LeaderReqID is
+	// set on dedup followers and names the flight leader's request.
+	ReqID       string `json:"req_id,omitempty"`
+	LeaderReqID string `json:"leader_req_id,omitempty"`
+	// Progress is the latest conflict-window rollup of a running solve
+	// (absent once done, before the first window, and for shared
+	// followers, whose solve runs on the leader).
+	Progress *solver.Progress `json:"progress,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx answer.

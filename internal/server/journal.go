@@ -49,6 +49,7 @@ type journalRecord struct {
 	CNF       string `json:"cnf,omitempty"`        // DIMACS body (submit)
 	Attempt   int    `json:"attempt,omitempty"`    // retry attempt number (start)
 	Status    string `json:"status,omitempty"`     // "ok" | "error" | "shed" (done)
+	ReqID     string `json:"req_id,omitempty"`     // X-Request-ID of the submit (submit)
 }
 
 const journalFileName = "journal.jsonl"

@@ -58,6 +58,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"runtime"
@@ -132,6 +133,28 @@ type Config struct {
 	// SessionMaxMem caps one session solver's estimated footprint in
 	// bytes; a solve that grows past it closes the session (<=0 → 256 MiB).
 	SessionMaxMem int64
+	// EventRing bounds each async job's replayable trace-event history:
+	// the ring buffer behind GET /v1/jobs/{id}/events that late
+	// subscribers and Last-Event-ID resumes read (<=0 → 256).
+	EventRing int
+	// EventQueue bounds one SSE subscriber's pending-event queue. A
+	// subscriber that falls further behind has events dropped and counted
+	// — a slow client never backpressures the solver (<=0 → 256).
+	EventQueue int
+	// SSEHeartbeat is the idle interval between `:` keep-alive comments on
+	// an event stream (<=0 → 15s).
+	SSEHeartbeat time.Duration
+	// AccessLog, when non-nil, receives one structured line per HTTP
+	// request: method, path, status, bytes, duration, request id, and the
+	// cache/dedup outcome. Under flood the log is sampled (LogSample*).
+	AccessLog *slog.Logger
+	// LogSampleAfter caps unsampled access-log lines per second; past it,
+	// only every LogSampleEvery-th request in that second is logged,
+	// flagged with sampled=true (<=0 → 200).
+	LogSampleAfter int
+	// LogSampleEvery is the sampling stride once LogSampleAfter is
+	// exceeded within one second (<=0 → 100).
+	LogSampleEvery int
 	// Selector, when non-nil, picks the deletion policy per instance via
 	// the NeuroSelect model (requests may still pin one with ?policy=).
 	// Nil servers solve everything under the default policy.
@@ -170,6 +193,8 @@ type Server struct {
 
 	solveEWMA atomic.Uint64 // float64 bits: smoothed solve seconds, feeds Retry-After
 
+	alog *accessLogger // nil when access logging is off
+
 	m serverMetrics
 }
 
@@ -192,6 +217,8 @@ type serverMetrics struct {
 	breakerTo  func(state string) *obs.Counter
 	sessionEv  func(event string) *obs.Counter
 	sessionSec func(mode string) *obs.Histogram
+	streamSubs *obs.Gauge
+	streamEv   func(outcome string) *obs.Counter
 }
 
 func newServerMetrics(reg *obs.Registry, s *Server) serverMetrics {
@@ -264,6 +291,13 @@ func newServerMetrics(reg *obs.Registry, s *Server) serverMetrics {
 	reg.GaugeFunc("neuroselect_server_session_pool_size",
 		"Parked warm solvers awaiting reuse.", nil,
 		func() float64 { return float64(s.pool.Len()) })
+	m.streamSubs = reg.Gauge("neuroselect_server_event_stream_subscribers",
+		"Open SSE event-stream subscriptions (GET /v1/jobs/{id}/events).", nil)
+	m.streamEv = func(outcome string) *obs.Counter {
+		return reg.Counter("neuroselect_server_event_stream_events_total",
+			"SSE stream events by outcome: sent (written to a client) or dropped (a slow subscriber's queue overflowed).",
+			obs.Labels{"outcome": outcome})
+	}
 	return m
 }
 
@@ -302,6 +336,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SessionMaxMem <= 0 {
 		cfg.SessionMaxMem = 256 << 20
 	}
+	if cfg.EventRing <= 0 {
+		cfg.EventRing = 256
+	}
+	if cfg.EventQueue <= 0 {
+		cfg.EventQueue = 256
+	}
+	if cfg.SSEHeartbeat <= 0 {
+		cfg.SSEHeartbeat = 15 * time.Second
+	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
@@ -320,6 +363,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.m = newServerMetrics(cfg.Registry, s)
 	s.brk.onFlip = func(to breakerState) { s.m.breakerTo(to.String()).Inc() }
+	s.alog = newAccessLogger(cfg.AccessLog, cfg.LogSampleAfter, cfg.LogSampleEvery)
 
 	var pending []*journalRecord
 	if cfg.JournalDir != "" {
@@ -348,6 +392,20 @@ func New(cfg Config) (*Server, error) {
 // from Config, or the private one a nil Config.Registry was replaced by).
 func (s *Server) Registry() *obs.Registry { return s.cfg.Registry }
 
+// initJobStream attaches the live-telemetry plumbing to an async job:
+// the broadcaster behind GET /v1/jobs/{id}/events and the progress sink
+// behind the poll body's progress object. Call before the job becomes
+// findable in the job store.
+func (s *Server) initJobStream(j *job) {
+	j.progress = &solver.ProgressSink{}
+	j.bcast = obs.NewBroadcaster(obs.BroadcastOpts{
+		Ring:     s.cfg.EventRing,
+		ReqID:    j.reqID,
+		Registry: s.cfg.Registry,
+		OnDrop:   func(n int64) { s.m.streamEv("dropped").Add(n) },
+	})
+}
+
 // replayJob re-creates one journaled job and re-admits it through the
 // normal paths: singleflight first (a pending duplicate shares the
 // flight), then the admission queue with a blocking retry loop — replayed
@@ -357,11 +415,13 @@ func (s *Server) replayJob(rec *journalRecord) {
 	j.id = rec.ID
 	j.key = rec.Key
 	j.trace = rec.Trace
+	j.reqID = rec.ReqID
 	j.timeout = time.Duration(rec.TimeoutNS)
 	if j.timeout <= 0 || j.timeout > s.cfg.MaxTimeout {
 		j.timeout = s.cfg.MaxTimeout
 	}
 	j.ctx = s.baseCtx
+	s.initJobStream(j)
 	s.jobs.AddReplayed(j, rec.ID)
 
 	fail := func(msg string) {
@@ -536,6 +596,7 @@ func (s *Server) completeJob(j *job) {
 		s.journalDone(j, status)
 	}
 	for _, fw := range followers {
+		fw.setLeaderReq(j.reqID)
 		if code != 0 {
 			fw.fail(code, msg)
 		} else {
@@ -587,20 +648,28 @@ func (s *Server) executeJob(j *job) (transient bool) {
 		return true
 	}
 
-	var tracer obs.Tracer
+	// The solve's tracer chain: the ?trace=1 response buffer and the job's
+	// live SSE broadcaster, either or both possibly absent. Both sinks are
+	// non-blocking, so neither perturbs the search trajectory.
 	var mem *memTracer
+	var sinks []obs.Tracer
 	if j.trace {
 		mem = &memTracer{}
-		tracer = mem
+		sinks = append(sinks, mem)
 	}
+	if j.bcast != nil {
+		sinks = append(sinks, j.bcast)
+	}
+	tracer := obs.Multi(sinks...)
 
 	if j.portfolio > 0 {
-		return s.executePortfolio(j, ctx, wait, mem)
+		return s.executePortfolio(j, ctx, wait, mem, tracer)
 	}
 
 	pol, polInfo := s.selectPolicy(j, mem)
 	opts := dataset.SolveOptions(pol, s.cfg.MaxConflicts)
 	opts.Tracer = tracer
+	opts.Progress = j.progress
 
 	solveStart := time.Now()
 	res, err := solver.SolveContext(ctx, j.f, opts)
@@ -662,16 +731,14 @@ func (s *Server) executeJob(j *job) (transient bool) {
 // configured selector, the rest stay pinned — so the inference circuit
 // breaker is not on this path. The response carries the standard
 // solveResponse fields plus the append-only portfolio block.
-func (s *Server) executePortfolio(j *job, ctx context.Context, wait time.Duration, mem *memTracer) (transient bool) {
+func (s *Server) executePortfolio(j *job, ctx context.Context, wait time.Duration, mem *memTracer, tracer obs.Tracer) (transient bool) {
 	cfg := portfolio.Config{
 		Workers:       j.portfolio,
 		Deterministic: j.deterministic,
 		MaxConflicts:  s.cfg.MaxConflicts,
 		Selector:      s.cfg.Selector,
 		Obs:           s.m.reg,
-	}
-	if mem != nil {
-		cfg.Tracer = mem
+		Tracer:        tracer,
 	}
 	solveStart := time.Now()
 	rep, err := portfolio.SolveParallelContext(ctx, j.f, cfg)
@@ -837,6 +904,7 @@ func (s *Server) journalSubmit(j *job) {
 		Key:       j.key,
 		TimeoutNS: int64(j.timeout),
 		Trace:     j.trace,
+		ReqID:     j.reqID,
 	}
 	if j.policy != nil {
 		rec.Policy = j.policy.Name()

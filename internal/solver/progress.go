@@ -1,0 +1,41 @@
+package solver
+
+import "sync/atomic"
+
+// Progress is the latest conflict-window rollup of a running solve: the
+// cumulative counters plus the window-local rates the tracer's window
+// events carry, readable from any goroutine while the search owns its
+// Solver. The JSON tags are the schema of the serving layer's live
+// `progress` object in job-poll bodies (API.md) and are append-only.
+type Progress struct {
+	Conflicts       int64   `json:"conflicts"`
+	Decisions       int64   `json:"decisions"`
+	Propagations    int64   `json:"propagations"`
+	Restarts        int64   `json:"restarts"`
+	Learned         int64   `json:"learned"`
+	WindowConflicts int64   `json:"window_conflicts"`
+	PropsPerSec     float64 `json:"props_per_sec"`
+	MeanGlue        float64 `json:"mean_glue"`
+	TrailDepth      int     `json:"trail_depth"`
+	TimeNS          int64   `json:"t_ns"` // nanoseconds since the solve started
+}
+
+// ProgressSink is a race-free single-slot mailbox for Progress snapshots:
+// the solve publishes a fresh snapshot at every conflict-window boundary
+// and readers Load whichever snapshot is newest. The zero value is ready
+// to use (Load reports ok=false until the first window closes).
+type ProgressSink struct {
+	p atomic.Pointer[Progress]
+}
+
+// Load returns the most recent snapshot; ok is false before the first
+// window boundary.
+func (ps *ProgressSink) Load() (Progress, bool) {
+	if p := ps.p.Load(); p != nil {
+		return *p, true
+	}
+	return Progress{}, false
+}
+
+// publish swaps in a new snapshot. Called from the solve's goroutine only.
+func (ps *ProgressSink) publish(p Progress) { ps.p.Store(&p) }

@@ -109,8 +109,14 @@ type Options struct {
 	// maintained, and the search trajectory is bit-identical either way.
 	Tracer obs.Tracer
 	// TraceWindow is the conflict count per rollup window (default 256;
-	// meaningful only with Tracer set).
+	// meaningful only with Tracer or Progress set).
 	TraceWindow int64
+	// Progress, when non-nil, receives the latest conflict-window rollup
+	// as an atomically swapped snapshot at every TraceWindow boundary, so
+	// other goroutines (the serving layer's job polls) can read live
+	// props/sec, restarts, and mean glue while the solve runs. Works with
+	// or without a Tracer; a nil Progress costs nothing.
+	Progress *ProgressSink
 	// Export, when non-nil, receives every learned clause (DIMACS literals
 	// plus its glue) synchronously from the learn path. The slice is a
 	// reusable solver-owned scratch buffer, valid only for the duration of
@@ -308,8 +314,8 @@ type Solver struct {
 
 	reduceLimit int64
 
-	// Conflict-window trace state, touched only when opts.Tracer is
-	// non-nil (the zero-cost-when-nil contract).
+	// Conflict-window trace state, touched only when opts.Tracer or
+	// opts.Progress is non-nil (the zero-cost-when-nil contract).
 	traceStart time.Time // solve start; event timestamps are relative to it
 	winStart   time.Time // wall clock at the last window boundary
 	winGlue    int64     // summed glue of clauses learned this window
@@ -606,12 +612,14 @@ func (s *Solver) SolveContext(ctx context.Context) Status {
 	s.ctx = ctx
 	defer func() { s.ctx = nil }()
 	t := s.opts.Tracer
-	if t != nil {
+	if t != nil || s.opts.Progress != nil {
 		now := time.Now()
 		s.traceStart, s.winStart = now, now
 		s.winGlue = 0
 		s.winConfs, s.winProps = s.stats.Conflicts, s.stats.Propagations
 		s.nextWindow = s.stats.Conflicts + s.opts.TraceWindow
+	}
+	if t != nil {
 		ev := &obs.Event{Type: obs.EventSolveStart, Vars: s.numVars, Clauses: len(s.clauses)}
 		if s.opts.Policy != nil {
 			ev.Policy = s.opts.Policy.Name()
@@ -695,8 +703,10 @@ func (s *Solver) traceEvent(typ string) *obs.Event {
 }
 
 // traceWindow closes the current conflict window: emits the rollup event
-// (propagation rate, mean learned glue, trail depth) and opens the next
-// window. Only called with a tracer installed.
+// (propagation rate, mean learned glue, trail depth), publishes the
+// snapshot to the Progress sink, and opens the next window. Only called
+// with a tracer or progress sink installed; t may be nil when only the
+// sink is.
 func (s *Solver) traceWindow(t obs.Tracer) {
 	now := time.Now()
 	confs := s.stats.Conflicts - s.winConfs
@@ -711,7 +721,23 @@ func (s *Solver) traceWindow(t obs.Tracer) {
 	}
 	ev.TrailDepth = len(s.trail)
 	ev.MaxTrail = s.stats.MaxTrail
-	t.Trace(ev)
+	if t != nil {
+		t.Trace(ev)
+	}
+	if ps := s.opts.Progress; ps != nil {
+		ps.publish(Progress{
+			Conflicts:       ev.Conflicts,
+			Decisions:       ev.Decisions,
+			Propagations:    ev.Propagations,
+			Restarts:        ev.Restarts,
+			Learned:         ev.Learned,
+			WindowConflicts: ev.WindowConflicts,
+			PropsPerSec:     ev.PropsPerSec,
+			MeanGlue:        ev.MeanGlue,
+			TrailDepth:      ev.TrailDepth,
+			TimeNS:          ev.TimeNS,
+		})
+	}
 	s.winStart = now
 	s.winGlue = 0
 	s.winConfs = s.stats.Conflicts
@@ -764,7 +790,7 @@ func (s *Solver) search(conflictLimit int64) Status {
 			s.install(learnt, glue)
 			s.decayVar()
 			s.decayClause()
-			if t := s.opts.Tracer; t != nil {
+			if t := s.opts.Tracer; t != nil || s.opts.Progress != nil {
 				s.winGlue += int64(glue)
 				if s.stats.Conflicts >= s.nextWindow {
 					s.traceWindow(t)

@@ -45,6 +45,116 @@ func TestTracerSearchNeutral(t *testing.T) {
 	}
 }
 
+// TestBroadcastStalledSubscriberNeutral is the streaming half of the
+// neutrality contract: a broadcaster with a deliberately stalled
+// subscriber (tiny queue, never read — the worst SSE client) fans out the
+// trace stream while the golden suite solves. The search trajectory must
+// be bit-identical to an untraced solve, the stall must surface as
+// counted drops, and the ring must still hold the tail of the stream.
+func TestBroadcastStalledSubscriberNeutral(t *testing.T) {
+	var totalDropped int64
+	for _, in := range goldenInstances() {
+		plain, err := New(in.F, goldenOptions(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := obs.NewBroadcaster(obs.BroadcastOpts{Ring: 32})
+		stalled, _ := b.Subscribe(0, 1) // 1-slot queue, never read
+		streamedOpts := goldenOptions(nil)
+		streamedOpts.Tracer = b
+		streamedOpts.TraceWindow = 64
+		streamedOpts.Progress = &ProgressSink{}
+		streamed, err := New(in.F, streamedOpts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stPlain, stStreamed := plain.Solve(), streamed.Solve()
+		b.Close()
+		if stPlain != stStreamed {
+			t.Fatalf("%s: status %v (plain) vs %v (streamed)", in.Name, stPlain, stStreamed)
+		}
+		if plain.Stats() != streamed.Stats() {
+			t.Fatalf("%s: stats diverge under streaming\nplain:    %+v\nstreamed: %+v",
+				in.Name, plain.Stats(), streamed.Stats())
+		}
+		pf, sf := plain.PropagationFrequencies(), streamed.PropagationFrequencies()
+		for v := range pf {
+			if pf[v] != sf[v] {
+				t.Fatalf("%s: propFreq[%d] = %d (plain) vs %d (streamed)", in.Name, v, pf[v], sf[v])
+			}
+		}
+		// A stalled queue of one slot keeps exactly one event; every later
+		// event must be dropped and accounted, never waited on.
+		if emitted := b.LastSeq(); emitted > 1 {
+			want := emitted - 1
+			if got := stalled.Dropped(); got != want {
+				t.Fatalf("%s: stalled subscriber dropped %d of %d events, want %d",
+					in.Name, got, emitted, want)
+			}
+		}
+		totalDropped += stalled.Dropped()
+	}
+	if totalDropped == 0 {
+		t.Fatal("no events were dropped across the suite; the stall never engaged and the test is vacuous")
+	}
+}
+
+// TestProgressSink checks the poll-side half of live telemetry: a solve
+// with only a ProgressSink installed (no tracer) publishes window rollups
+// that track the final stats, and a sink-only solve stays bit-identical
+// to an untraced one.
+func TestProgressSink(t *testing.T) {
+	var sink ProgressSink
+	if _, ok := sink.Load(); ok {
+		t.Fatal("fresh sink reported a snapshot")
+	}
+	inst := gen.Pigeonhole(7)
+	plain, err := New(inst.F, goldenOptions(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := goldenOptions(nil)
+	opts.Progress = &sink
+	opts.TraceWindow = 128
+	s, err := New(inst.F, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Solve(); st != Unsat {
+		t.Fatalf("php-7 must be UNSAT, got %v", st)
+	}
+	if plain.Solve() != Unsat {
+		t.Fatal("plain php-7 must be UNSAT")
+	}
+	if plain.Stats() != s.Stats() {
+		t.Fatalf("stats diverge with a progress sink\nplain: %+v\nsink:  %+v",
+			plain.Stats(), s.Stats())
+	}
+	p, ok := sink.Load()
+	if !ok {
+		t.Fatal("no progress snapshot published for a ~7k-conflict solve")
+	}
+	st := s.Stats()
+	if p.Conflicts > st.Conflicts || p.Conflicts < opts.TraceWindow {
+		t.Errorf("snapshot conflicts %d outside [%d, %d]", p.Conflicts, opts.TraceWindow, st.Conflicts)
+	}
+	if p.Propagations > st.Propagations || p.Propagations <= 0 {
+		t.Errorf("snapshot propagations %d outside (0, %d]", p.Propagations, st.Propagations)
+	}
+	if p.WindowConflicts < opts.TraceWindow {
+		t.Errorf("window closed after %d conflicts, stride is %d", p.WindowConflicts, opts.TraceWindow)
+	}
+	if p.MeanGlue <= 0 {
+		t.Errorf("mean glue %v, want > 0", p.MeanGlue)
+	}
+	if p.PropsPerSec <= 0 {
+		t.Errorf("props/sec %v, want > 0", p.PropsPerSec)
+	}
+	if p.TimeNS <= 0 {
+		t.Errorf("t_ns %d, want > 0", p.TimeNS)
+	}
+}
+
 // TestTraceEventStream checks the event stream against the final stats on a
 // reduction-heavy instance: bracketing solve_start/solve_end, one restart
 // event per recorded restart, one reduce event per reduction, cumulative

@@ -8,7 +8,9 @@
 # service (cache hit, queue shedding, SIGTERM drain), an incremental
 # warm-session smoke (a session's steps must answer exactly like cold
 # solves of the equivalent accumulated formulas, and an idle session
-# must expire after -session-ttl), a chaos smoke
+# must expire after -session-ttl), an SSE telemetry smoke (live window
+# events over GET /v1/jobs/{id}/events, a done event byte-identical to
+# the poll body, moving stream metrics, JSON access lines), a chaos smoke
 # (kill -9 mid-solve, restart over the same -journal directory, the job
 # must still complete), two documentation gates (package comments,
 # README flag freshness), a benchmark regression gate against
@@ -398,6 +400,96 @@ if [ "$rc" != 0 ]; then
 	exit 1
 fi
 echo "session smoke: 3 warm steps matched cold solves, idle session expired"
+
+echo "== SSE telemetry smoke (live event stream, done==poll, access log)"
+# A hard 6s-bounded job streamed over GET /v1/jobs/{id}/events: window
+# events must arrive while the solve runs, the stream must end with a
+# done event whose data is byte-identical to the poll body, the stream
+# counters must move on /metrics, and -log-format json must produce
+# structured access lines on stderr.
+"$SMOKE_DIR/neuroselect-serve" -addr 127.0.0.1:0 -workers 1 \
+	-metrics-addr 127.0.0.1:0 -log-format json \
+	> "$SMOKE_DIR/serve_sse.txt" 2> "$SMOKE_DIR/serve_sse.log" &
+SERVE_PID=$!
+api=""
+i=0
+while [ -z "$api" ] && [ "$i" -lt 100 ]; do
+	api="$(sed -n 's/^solving API listening on //p' "$SMOKE_DIR/serve_sse.txt" 2>/dev/null)"
+	[ -n "$api" ] || sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$api" ]; then
+	echo "sse smoke: FAIL — server never announced its listen address"
+	exit 1
+fi
+maddr="$(sed -n 's/^metrics listening on //p' "$SMOKE_DIR/serve_sse.txt")"
+jid="$(curl -s --data-binary @"$SMOKE_DIR/php12.cnf" \
+	"http://$api/v1/jobs?timeout=6s" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')"
+if [ -z "$jid" ]; then
+	echo "sse smoke: FAIL — async submit was not acknowledged"
+	exit 1
+fi
+curl -sN -m 60 "http://$api/v1/jobs/$jid/events" > "$SMOKE_DIR/sse.txt" &
+CURL_PID=$!
+# Live mid-solve events: a window rollup must stream in well before the
+# job's 6s bound expires.
+live=""
+i=0
+while [ -z "$live" ] && [ "$i" -lt 50 ]; do
+	if grep -q '^event: window' "$SMOKE_DIR/sse.txt" 2>/dev/null; then
+		live=yes
+	else
+		sleep 0.1
+	fi
+	i=$((i + 1))
+done
+if [ -z "$live" ]; then
+	echo "sse smoke: FAIL — no window event streamed while the job ran"
+	exit 1
+fi
+rc=0
+wait "$CURL_PID" || rc=$?
+if [ "$rc" != 0 ]; then
+	echo "sse smoke: FAIL — event stream did not end cleanly (curl exited $rc)"
+	exit 1
+fi
+# The final done event's data is the poll body, byte for byte (both
+# command substitutions strip the same trailing newline).
+done_data="$(sed -n '/^event: done$/{n;s/^data: //p;}' "$SMOKE_DIR/sse.txt")"
+poll_body="$(curl -s "http://$api/v1/jobs/$jid")"
+if [ -z "$done_data" ]; then
+	echo "sse smoke: FAIL — stream ended without a done event"
+	exit 1
+fi
+if [ "$done_data" != "$poll_body" ]; then
+	echo "sse smoke: FAIL — done event diverges from poll body"
+	echo " done: $done_data"
+	echo " poll: $poll_body"
+	exit 1
+fi
+curl -fsS "http://$maddr/metrics" | awk '
+	$1 ~ /^neuroselect_server_event_stream_events_total/ { sum += $2 }
+	END { exit(sum > 0 ? 0 : 1) }' || {
+	echo "sse smoke: FAIL — event_stream_events_total never moved"
+	exit 1
+}
+if ! grep -q '"msg":"request"' "$SMOKE_DIR/serve_sse.log"; then
+	echo "sse smoke: FAIL — -log-format json produced no access lines"
+	exit 1
+fi
+if ! grep -q '"request_id":' "$SMOKE_DIR/serve_sse.log"; then
+	echo "sse smoke: FAIL — access lines carry no request_id"
+	exit 1
+fi
+kill -TERM "$SERVE_PID"
+rc=0
+wait "$SERVE_PID" || rc=$?
+SERVE_PID=""
+if [ "$rc" != 0 ]; then
+	echo "sse smoke: FAIL — server exited $rc after drain"
+	exit 1
+fi
+echo "sse smoke: live window events, done==poll byte-identical, stream metrics, JSON access log all ok"
 
 echo "== chaos smoke (kill -9 crash recovery over the job journal)"
 JDIR="$SMOKE_DIR/journal"
