@@ -11,6 +11,11 @@
 //	                  [-session-ttl D] [-session-max-mem BYTES]
 //	                  [-log-format off|text|json] [-sse-heartbeat D]
 //	                  [-event-ring N] [-event-queue N]
+//	                  [-backend-name NAME]
+//	neuroselect-serve -coordinator -replicas URL,URL,... [-addr :8080]
+//	                  [-probe-interval D] [-probe-timeout D]
+//	                  [-fail-threshold N] [-metrics-addr HOST:PORT]
+//	                  [-max-body BYTES] [-drain-timeout D]
 //
 // Endpoints (full contract in API.md):
 //
@@ -59,6 +64,27 @@
 // SIGINT/SIGTERM starts a graceful drain: new submissions get 503,
 // queued and in-flight jobs finish, then the listener closes. A second
 // signal aborts immediately.
+//
+// # Cluster mode
+//
+// -coordinator turns the process into a stateless routing tier instead
+// of a solver: it consistent-hashes each upload's canonical formula hash
+// across the -replicas list (comma-separated base URLs of backend-mode
+// solver processes), so identical formulas always land on the same
+// replica and that replica's result cache and warm-session pool serve
+// the whole cluster. The coordinator proxies the entire /v1 surface —
+// including SSE event streams and session operations with strict
+// affinity — probes each replica's /healthz every -probe-interval
+// (ejecting it from routing after -fail-threshold consecutive failures
+// and readmitting it on the first success), and retries idempotent
+// requests on the ring's next replica after a transport-level failure.
+// Every proxied response carries X-Backend naming the replica that
+// produced it.
+//
+// Replicas behind a coordinator should run with -backend-name: the name
+// appears in X-Backend and prefixes job/session ids so ids are unique
+// across the cluster. See OPERATIONS.md for the full deployment runbook
+// and README.md for a copy-pasteable local cluster.
 package main
 
 import (
@@ -71,10 +97,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"neuroselect"
+	"neuroselect/internal/cluster"
 	"neuroselect/internal/obs"
 	"neuroselect/internal/portfolio"
 	"neuroselect/internal/server"
@@ -107,7 +135,26 @@ func run() int {
 	sseHeartbeat := flag.Duration("sse-heartbeat", 15*time.Second, "keep-alive comment interval on idle SSE event streams")
 	eventRing := flag.Int("event-ring", 256, "per-job replay ring for GET /v1/jobs/{id}/events, in trace events")
 	eventQueue := flag.Int("event-queue", 256, "per-subscriber SSE queue depth; events past it are dropped and counted, never block the solve")
+	backendName := flag.String("backend-name", "", "cluster backend mode: name this replica (sets X-Backend on responses and prefixes job/session ids)")
+	coordinator := flag.Bool("coordinator", false, "run as a cluster coordinator: route requests across -replicas instead of solving locally")
+	replicas := flag.String("replicas", "", "coordinator mode: comma-separated backend base URLs (e.g. http://10.0.0.1:8080,http://10.0.0.2:8080)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "coordinator mode: per-backend /healthz probe cadence")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "coordinator mode: timeout for one health probe")
+	failThreshold := flag.Int("fail-threshold", 2, "coordinator mode: consecutive probe failures that eject a backend from routing (one success readmits)")
 	flag.Parse()
+
+	if *coordinator {
+		return runCoordinator(coordinatorOpts{
+			addr:          *addr,
+			replicas:      *replicas,
+			probeInterval: *probeInterval,
+			probeTimeout:  *probeTimeout,
+			failThreshold: *failThreshold,
+			maxBody:       *maxBody,
+			metricsAddr:   *metricsAddr,
+			drainTimeout:  *drainTimeout,
+		})
+	}
 
 	var accessLog *slog.Logger
 	switch *logFormat {
@@ -166,6 +213,7 @@ func run() int {
 		EventQueue:        *eventQueue,
 		SSEHeartbeat:      *sseHeartbeat,
 		AccessLog:         accessLog,
+		BackendName:       *backendName,
 		Selector:          sel,
 		Registry:          reg,
 	})
@@ -203,6 +251,88 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "neuroselect-serve: drain:", err)
 		svc.Close()
 	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "neuroselect-serve: shutdown:", err)
+	}
+	fmt.Println("drained; bye")
+	return 0
+}
+
+// coordinatorOpts carries the -coordinator mode's flag values.
+type coordinatorOpts struct {
+	addr          string
+	replicas      string
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+	failThreshold int
+	maxBody       int64
+	metricsAddr   string
+	drainTimeout  time.Duration
+}
+
+// runCoordinator is the -coordinator main loop: build the routing tier,
+// serve it, and on SIGINT/SIGTERM drain (healthz flips to 503 so load
+// balancers back off, in-flight proxied requests finish) before the
+// listener closes.
+func runCoordinator(opts coordinatorOpts) int {
+	var urls []string
+	for _, u := range strings.Split(opts.replicas, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return fail(errors.New("-coordinator requires -replicas (comma-separated backend base URLs)"))
+	}
+
+	reg := obs.NewRegistry()
+	obs.RegisterProcessMetrics(reg, time.Now())
+	if opts.metricsAddr != "" {
+		msrv, err := obs.Serve(opts.metricsAddr, reg)
+		if err != nil {
+			return fail(err)
+		}
+		defer msrv.Close()
+		fmt.Printf("metrics listening on %s\n", msrv.Addr())
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Replicas:      urls,
+		ProbeInterval: opts.probeInterval,
+		ProbeTimeout:  opts.probeTimeout,
+		FailThreshold: opts.failThreshold,
+		MaxBodyBytes:  opts.maxBody,
+		Registry:      reg,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer coord.Close()
+
+	httpSrv := &http.Server{Handler: coord.Handler()}
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Printf("cluster coordinator listening on %s (%d replicas)\n", ln.Addr(), len(urls))
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return fail(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("draining: refusing new work, finishing in-flight proxied requests")
+
+	coord.Drain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), opts.drainTimeout)
+	defer cancel()
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "neuroselect-serve: shutdown:", err)
 	}

@@ -1,0 +1,368 @@
+package cluster
+
+// The proxy paths. Three shapes:
+//
+//   - hash-routed POSTs (/v1/solve, /v1/jobs, /v1/sessions): the body is
+//     buffered (it must be re-sendable for failover), the routing key is
+//     the canonical formula hash — the same key the replica's result
+//     cache uses, which is the whole point: the coordinator's routing
+//     function and the replica's cache key agree, so a repeat upload
+//     lands on the replica that already holds the answer.
+//   - id-routed requests (/v1/jobs/{id}, /v1/sessions/{id}…): follow the
+//     id → backend affinity map, falling back to a scatter probe of the
+//     live backends when the map has no answer (coordinator restart, LRU
+//     eviction). Job reads may fail over; session writes never do — the
+//     warm solver exists on exactly one replica.
+//   - the SSE stream (/v1/jobs/{id}/events): resolved like a job read,
+//     then streamed flush-per-chunk so event frames and heartbeat
+//     comments reach the client in real time instead of sitting in a
+//     proxy buffer.
+
+import (
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"neuroselect/internal/cnf"
+	"neuroselect/internal/server"
+)
+
+// errorBody mirrors the replicas' JSON error schema so clients see one
+// vocabulary regardless of which tier refused them.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{msg})
+}
+
+// refuseIfDraining sheds new work once Drain flipped the coordinator.
+func (c *Coordinator) refuseIfDraining(w http.ResponseWriter) bool {
+	if !c.Draining() {
+		return false
+	}
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "coordinator is draining")
+	return true
+}
+
+// routeKey derives the consistent-hash key for an upload: the canonical
+// formula hash when the body parses as DIMACS (possibly gzip-wrapped —
+// decompressed for hashing only, forwarded as the original bytes), else
+// a digest of the raw bytes so even malformed uploads route
+// deterministically (their 400s come from one replica, not all of them).
+func routeKey(body []byte, contentEncoding string) string {
+	plain := body
+	if strings.EqualFold(contentEncoding, "gzip") {
+		gz, err := gzip.NewReader(bytes.NewReader(body))
+		if err == nil {
+			if p, err := io.ReadAll(gz); err == nil {
+				plain = p
+			}
+			gz.Close()
+		}
+	}
+	if f, err := cnf.ParseDIMACS(bytes.NewReader(plain)); err == nil {
+		return server.CanonicalHash(f)
+	}
+	sum := sha256.Sum256(body)
+	return "raw:" + hex.EncodeToString(sum[:])
+}
+
+// handleHashRouted proxies one body-carrying POST to the routing key's
+// backend, failing over along the key's ring order when a backend dies
+// mid-request (transport error before any response bytes — the request
+// was not processed, so re-sending is safe; an HTTP error status is a
+// processed answer and is returned as-is).
+func (c *Coordinator) handleHashRouted(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if c.refuseIfDraining(w) {
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("body exceeds %d bytes", c.cfg.MaxBodyBytes))
+				return
+			}
+			writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+			return
+		}
+		key := routeKey(body, r.Header.Get("Content-Encoding"))
+		first := true
+		for _, name := range c.ring.Order(key) {
+			b := c.backends[name]
+			if b == nil || !b.up.Load() {
+				continue
+			}
+			if !first {
+				c.m.retries.Inc()
+			}
+			first = false
+			resp, err := c.forward(r, b, r.URL.Path, body)
+			if err != nil {
+				// No response bytes: the backend never processed the
+				// request. Mark it down and try the key's next preference.
+				c.noteTransportFailure(b)
+				continue
+			}
+			c.m.routed(b.name, endpoint).Inc()
+			c.recordRoute(endpoint, b, c.copyResponse(w, resp, b))
+			return
+		}
+		writeError(w, http.StatusBadGateway, "no live backend for this request")
+	}
+}
+
+// recordRoute files the id → backend affinity a creating endpoint's
+// response establishes (202/200 job submits, 201/200 session creates).
+func (c *Coordinator) recordRoute(endpoint string, b *backend, respBody []byte) {
+	if len(respBody) == 0 {
+		return
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if json.Unmarshal(respBody, &v) != nil || v.ID == "" {
+		return
+	}
+	switch endpoint {
+	case "jobs":
+		c.jobRoute.Put(v.ID, b.name)
+	case "session-create":
+		c.sessRoute.Put(v.ID, b.name)
+	}
+}
+
+// handleJobGet proxies GET /v1/jobs/{id}: the mapped backend first, then
+// a scatter probe of the remaining live backends (a 404 from one replica
+// only means "not mine" — the id may live elsewhere after a coordinator
+// restart). Reads are idempotent, so transport failures fail over.
+func (c *Coordinator) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if c.refuseIfDraining(w) {
+		return
+	}
+	id := r.PathValue("id")
+	resp, b, ok := c.fetchByID(r, c.jobRoute, id, "/v1/jobs/"+id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	c.m.routed(b.name, "poll").Inc()
+	c.jobRoute.Put(id, b.name)
+	c.copyResponse(w, resp, b)
+}
+
+// fetchByID resolves an id-addressed GET: the affinity-mapped backend
+// first (if live), then every other live backend in ring order. The
+// first non-404 response wins; nothing but 404s (or no live backend at
+// all) reports not-found to the caller.
+func (c *Coordinator) fetchByID(r *http.Request, m *routeMap, id, path string) (*http.Response, *backend, bool) {
+	var cands []*backend
+	if name, ok := m.Get(id); ok {
+		if b := c.backends[name]; b != nil && b.up.Load() {
+			cands = append(cands, b)
+		}
+	}
+	for _, b := range c.liveBackends() {
+		if len(cands) > 0 && b == cands[0] {
+			continue
+		}
+		cands = append(cands, b)
+	}
+	first := true
+	for _, b := range cands {
+		if !first {
+			c.m.retries.Inc()
+		}
+		first = false
+		resp, err := c.forward(r, b, path, nil)
+		if err != nil {
+			c.noteTransportFailure(b)
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			continue
+		}
+		return resp, b, true
+	}
+	return nil, nil, false
+}
+
+// handleJobEvents proxies the SSE stream. The job's owner is resolved
+// like a poll (affinity map, then scatter via GET /v1/jobs/{id}), then
+// the stream is copied chunk-by-chunk with an explicit flush after every
+// read so frames and `: hb` heartbeats pass through unbuffered. A
+// mid-stream backend death ends the stream — the client resumes with
+// Last-Event-ID exactly as it would against the replica directly.
+func (c *Coordinator) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	if c.refuseIfDraining(w) {
+		return
+	}
+	id := r.PathValue("id")
+	owner, ok := c.resolveOwner(r, c.jobRoute, id, "/v1/jobs/"+id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job id")
+		return
+	}
+	resp, err := c.forward(r, owner, "/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		c.noteTransportFailure(owner)
+		writeError(w, http.StatusBadGateway, "backend unreachable")
+		return
+	}
+	defer resp.Body.Close()
+	c.m.routed(owner.name, "events").Inc()
+	copyHeaders(w, resp, owner)
+	w.WriteHeader(resp.StatusCode)
+	rc := http.NewResponseController(w)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			_ = rc.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// resolveOwner finds which live backend holds an id, consulting the
+// affinity map first and scatter-probing with a GET otherwise.
+func (c *Coordinator) resolveOwner(r *http.Request, m *routeMap, id, probePath string) (*backend, bool) {
+	if name, ok := m.Get(id); ok {
+		if b := c.backends[name]; b != nil && b.up.Load() {
+			return b, true
+		}
+	}
+	resp, b, ok := c.fetchByID(r, m, id, probePath)
+	if !ok {
+		return nil, false
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	m.Put(id, b.name)
+	return b, true
+}
+
+// handleSessionOp proxies one session-addressed operation with strict
+// affinity: the session's warm solver state exists on exactly one
+// replica, so there is no failover — if that replica is down, the
+// operation fails and the client recreates the session (the same
+// contract a single replica's restart gives them).
+func (c *Coordinator) handleSessionOp(endpoint string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if c.refuseIfDraining(w) {
+			return
+		}
+		id := r.PathValue("id")
+		owner, ok := c.resolveOwner(r, c.sessRoute, id, "/v1/sessions/"+id)
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown session id")
+			return
+		}
+		var body []byte
+		if r.Body != nil && r.ContentLength != 0 {
+			var err error
+			body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+			if err != nil {
+				writeError(w, http.StatusBadRequest, "read body: "+err.Error())
+				return
+			}
+		}
+		resp, err := c.forward(r, owner, r.URL.Path, body)
+		if err != nil {
+			c.noteTransportFailure(owner)
+			writeError(w, http.StatusBadGateway, "session backend unreachable; recreate the session")
+			return
+		}
+		c.m.routed(owner.name, endpoint).Inc()
+		ok2xx := resp.StatusCode >= 200 && resp.StatusCode < 300
+		c.copyResponse(w, resp, owner)
+		if endpoint == "session-delete" && ok2xx {
+			c.sessRoute.Delete(id)
+		}
+	}
+}
+
+// forward sends one proxied request to a backend: same method, path and
+// query, a re-sendable buffered body, and the headers that matter —
+// content negotiation, SSE resume position, and the correlation id the
+// coordinator's middleware established.
+func (c *Coordinator) forward(r *http.Request, b *backend, path string, body []byte) (*http.Response, error) {
+	u := *b.base
+	u.Path = strings.TrimSuffix(u.Path, "/") + path
+	u.RawQuery = r.URL.RawQuery
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), rd)
+	if err != nil {
+		return nil, err
+	}
+	for _, h := range []string{"Content-Type", "Content-Encoding", "Accept", "Accept-Encoding", "Last-Event-ID"} {
+		if v := r.Header.Get(h); v != "" {
+			req.Header.Set(h, v)
+		}
+	}
+	if id := server.RequestIDFrom(r.Context()); id != "" {
+		req.Header.Set("X-Request-ID", id)
+	}
+	return c.client.Do(req)
+}
+
+// copyResponse relays a buffered (non-streaming) backend response:
+// headers, status, body. Returns the body bytes so creating endpoints
+// can mine the resource id for the affinity maps.
+func (c *Coordinator) copyResponse(w http.ResponseWriter, resp *http.Response, b *backend) []byte {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "read backend response: "+err.Error())
+		return nil
+	}
+	copyHeaders(w, resp, b)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+	return body
+}
+
+// hopByHop are the headers a proxy must not relay (RFC 9110 §7.6.1).
+var hopByHop = map[string]bool{
+	"Connection": true, "Keep-Alive": true, "Proxy-Connection": true,
+	"Transfer-Encoding": true, "Upgrade": true, "Te": true, "Trailer": true,
+}
+
+// copyHeaders relays the backend's response headers (minus hop-by-hop)
+// and guarantees X-Backend is present: replicas in backend mode set it
+// themselves; for a plain replica the coordinator fills in the ring name
+// so routing is always observable.
+func copyHeaders(w http.ResponseWriter, resp *http.Response, b *backend) {
+	h := w.Header()
+	for k, vs := range resp.Header {
+		if hopByHop[http.CanonicalHeaderKey(k)] {
+			continue
+		}
+		h[http.CanonicalHeaderKey(k)] = vs
+	}
+	if h.Get("X-Backend") == "" {
+		h.Set("X-Backend", b.name)
+	}
+}

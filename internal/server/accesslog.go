@@ -102,7 +102,7 @@ func (s *Server) logAccess(next http.Handler) http.Handler {
 			return
 		}
 		// The response header map is shared with the handler, so the
-		// request id (set by withRequestID) and the cache/dedup verdicts
+		// request id (set by WithRequestID) and the cache/dedup verdicts
 		// are readable here after the fact.
 		attrs := []slog.Attr{
 			slog.String("method", r.Method),

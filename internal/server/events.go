@@ -135,12 +135,14 @@ type ctxKey int
 
 const ctxKeyReqID ctxKey = iota
 
-// withRequestID is the outermost middleware: it adopts the client's
+// WithRequestID is the outermost middleware: it adopts the client's
 // X-Request-ID (when well-formed) or generates one, echoes it on the
 // response, and threads it through the request context — from where it
 // reaches journal records, streamed trace events, job views, and the
-// access log.
-func withRequestID(next http.Handler) http.Handler {
+// access log. Exported because the cluster coordinator (internal/cluster)
+// runs the same middleware, so one id correlates a request across the
+// routing tier and the replica that solved it.
+func WithRequestID(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := sanitizeReqID(r.Header.Get("X-Request-ID"))
 		if id == "" {
@@ -151,8 +153,8 @@ func withRequestID(next http.Handler) http.Handler {
 	})
 }
 
-// requestIDFrom extracts the correlation id withRequestID stored.
-func requestIDFrom(ctx context.Context) string {
+// RequestIDFrom extracts the correlation id WithRequestID stored.
+func RequestIDFrom(ctx context.Context) string {
 	id, _ := ctx.Value(ctxKeyReqID).(string)
 	return id
 }

@@ -44,7 +44,19 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}", s.instrument("session-info", s.handleSessionInfo))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.instrument("session-delete", s.handleSessionDelete))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	return withRequestID(s.logAccess(mux))
+	var h http.Handler = s.logAccess(mux)
+	if s.cfg.BackendName != "" {
+		// Backend mode: every response names the replica that produced it,
+		// so clients behind a coordinator can observe routing stickiness
+		// and operators can attribute a response to a process.
+		name := s.cfg.BackendName
+		inner := h
+		h = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("X-Backend", name)
+			inner.ServeHTTP(w, r)
+		})
+	}
+	return WithRequestID(h)
 }
 
 // statusRecorder captures the response code for the request counters.
@@ -256,7 +268,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.code, herr.msg)
 		return
 	}
-	j.reqID = requestIDFrom(r.Context())
+	j.reqID = RequestIDFrom(r.Context())
 	if j.key != "" {
 		if e, ok := s.cacheGet(j.key); ok {
 			s.m.cacheEv("hit").Inc()
@@ -339,7 +351,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.code, herr.msg)
 		return
 	}
-	j.reqID = requestIDFrom(r.Context())
+	j.reqID = RequestIDFrom(r.Context())
 	// Every async job gets its event stream before it becomes findable:
 	// a subscriber may connect the moment the id is out.
 	s.initJobStream(j)

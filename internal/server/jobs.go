@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -269,13 +270,14 @@ func marshalBody(resp *solveResponse) ([]byte, error) {
 type jobStore struct {
 	mu      sync.Mutex
 	nextID  uint64
+	prefix  string // Config.BackendName + "-" in backend mode; ids become cluster-unique
 	byID    map[string]*job
 	history int
 	doneLst *list.List // job ids in completion-registration order
 }
 
-func newJobStore(history int) *jobStore {
-	return &jobStore{byID: make(map[string]*job), history: history, doneLst: list.New()}
+func newJobStore(history int, prefix string) *jobStore {
+	return &jobStore{byID: make(map[string]*job), prefix: prefix, history: history, doneLst: list.New()}
 }
 
 // Add registers a job and assigns its id.
@@ -283,7 +285,7 @@ func (st *jobStore) Add(j *job) string {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	st.nextID++
-	j.id = fmt.Sprintf("j%08d", st.nextID)
+	j.id = fmt.Sprintf("%sj%08d", st.prefix, st.nextID)
 	st.byID[j.id] = j
 	return j.id
 }
@@ -297,7 +299,7 @@ func (st *jobStore) AddReplayed(j *job, id string) {
 	j.id = id
 	st.byID[id] = j
 	var n uint64
-	if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n > st.nextID {
+	if _, err := fmt.Sscanf(strings.TrimPrefix(id, st.prefix), "j%d", &n); err == nil && n > st.nextID {
 		st.nextID = n
 	}
 }

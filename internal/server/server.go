@@ -155,6 +155,12 @@ type Config struct {
 	// LogSampleEvery is the sampling stride once LogSampleAfter is
 	// exceeded within one second (<=0 → 100).
 	LogSampleEvery int
+	// BackendName, when non-empty, runs the server in cluster backend
+	// mode: every response carries an X-Backend header naming this
+	// replica, and job/session ids are prefixed "<name>-" so they are
+	// unique across the cluster (the coordinator routes by id prefix-
+	// agnostic maps, but operators and logs need unambiguous ids).
+	BackendName string
 	// Selector, when non-nil, picks the deletion policy per instance via
 	// the NeuroSelect model (requests may still pin one with ?policy=).
 	// Nil servers solve everything under the default policy.
@@ -348,15 +354,19 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	idPrefix := ""
+	if cfg.BackendName != "" {
+		idPrefix = cfg.BackendName + "-"
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
 		queue:    make(chan *job, cfg.QueueDepth),
 		cache:    newResultCache(cfg.CacheSize),
-		jobs:     newJobStore(cfg.JobHistory),
+		jobs:     newJobStore(cfg.JobHistory, idPrefix),
 		brk:      newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		fl:       flightTable{m: make(map[string]*job)},
-		sessions: newSessionTable(cfg.SessionMax),
+		sessions: newSessionTable(cfg.SessionMax, idPrefix),
 		pool:     newSolverPool(cfg.SessionMax),
 		baseCtx:  ctx,
 		cancel:   cancel,

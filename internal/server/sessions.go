@@ -73,13 +73,14 @@ type session struct {
 type sessionTable struct {
 	mu     sync.Mutex
 	cap    int
+	prefix string // Config.BackendName + "-" in backend mode; ids become cluster-unique
 	byID   map[string]*session
 	ll     *list.List // front = most recently used
 	nextID uint64
 }
 
-func newSessionTable(capacity int) *sessionTable {
-	return &sessionTable{cap: capacity, byID: make(map[string]*session), ll: list.New()}
+func newSessionTable(capacity int, prefix string) *sessionTable {
+	return &sessionTable{cap: capacity, prefix: prefix, byID: make(map[string]*session), ll: list.New()}
 }
 
 // Add registers a session, assigning its id. When the table is at
@@ -96,7 +97,7 @@ func (t *sessionTable) Add(sess *session, now time.Time) (evicted *session, err 
 		}
 	}
 	t.nextID++
-	sess.id = fmt.Sprintf("s%08d", t.nextID)
+	sess.id = fmt.Sprintf("%ss%08d", t.prefix, t.nextID)
 	sess.created = now
 	sess.lastUsed = now
 	sess.lruEl = t.ll.PushFront(sess)

@@ -12,11 +12,14 @@
 # events over GET /v1/jobs/{id}/events, a done event byte-identical to
 # the poll body, moving stream metrics, JSON access lines), a chaos smoke
 # (kill -9 mid-solve, restart over the same -journal directory, the job
-# must still complete), two documentation gates (package comments,
-# README flag freshness), a benchmark regression gate against
-# BENCH_solver.json (skip with BENCH_DELTA_SKIP=1), and coverage gates
-# on the experiments and portfolio packages. Run from the repo root via
-# `make check` or `./scripts/check.sh`.
+# must still complete), a cluster smoke (coordinator + 2 replicas:
+# sticky consistent-hash routing, a cache hit served through the proxy,
+# failover after killing the owning replica, SIGTERM drain of the whole
+# topology), three documentation gates (package comments, README flag
+# freshness, API.md metric freshness), a benchmark regression gate
+# against BENCH_solver.json (skip with BENCH_DELTA_SKIP=1), and coverage
+# gates on the experiments and portfolio packages. Run from the repo
+# root via `make check` or `./scripts/check.sh`.
 set -eu
 
 # Statement-coverage floor for neuroselect/internal/experiments. The
@@ -35,6 +38,9 @@ COVER_PROFILE=""
 SMOKE_DIR=""
 SMOKE_PID=""
 SERVE_PID=""
+R1_PID=""
+R2_PID=""
+COORD_PID=""
 cleanup() {
 	if [ -n "$SMOKE_PID" ]; then
 		kill "$SMOKE_PID" 2>/dev/null || true
@@ -42,6 +48,9 @@ cleanup() {
 	if [ -n "$SERVE_PID" ]; then
 		kill -9 "$SERVE_PID" 2>/dev/null || true
 	fi
+	for pid in $R1_PID $R2_PID $COORD_PID; do
+		kill -9 "$pid" 2>/dev/null || true
+	done
 	if [ -n "$SMOKE_DIR" ]; then
 		rm -rf "$SMOKE_DIR"
 	fi
@@ -64,7 +73,7 @@ echo "== go test -race (concurrency-bearing packages)"
 go test -race ./internal/experiments ./internal/portfolio \
 	./internal/sweep ./internal/metrics ./internal/dataset \
 	./internal/solver ./internal/faultpoint ./internal/obs \
-	./internal/server ./internal/aiger
+	./internal/server ./internal/aiger ./internal/cluster
 
 echo "== benchmark smoke (1 iteration per benchmark)"
 go test -run '^$' -bench . -benchtime 1x ./internal/solver ./internal/drat \
@@ -185,6 +194,26 @@ if [ "$fail" != 0 ]; then
 	exit 1
 fi
 echo "docs gate: every cmd flag documented"
+
+echo "== docs-freshness gate (every registered metric name appears in API.md)"
+# Every metric-name string literal in the serving/telemetry packages must
+# be documented (backticked) in API.md's metric tables — a new series
+# without documentation, or a renamed one leaving a stale row, fails here.
+fail=0
+metric_files="$(find internal/obs internal/server internal/cluster \
+	-name '*.go' ! -name '*_test.go')"
+metrics="$(grep -hoE '"(neuroselect|process|go)_[a-z_]+"' $metric_files |
+	tr -d '"' | sort -u)"
+for mname in $metrics; do
+	if ! grep -q -- "\`$mname\`" API.md; then
+		echo "docs gate: FAIL — metric $mname is not documented in API.md"
+		fail=1
+	fi
+done
+if [ "$fail" != 0 ]; then
+	exit 1
+fi
+echo "docs gate: every registered metric documented in API.md ($(echo "$metrics" | wc -l | tr -d ' ') series)"
 
 echo "== solving-service smoke (neuroselect-serve end to end)"
 if [ -z "$SMOKE_DIR" ]; then
@@ -577,6 +606,132 @@ if grep -q '"type":"submit"' "$JDIR/journal.jsonl" 2>/dev/null; then
 	exit 1
 fi
 echo "chaos smoke: kill -9 mid-solve, replay after restart, clean compaction all ok"
+
+echo "== cluster smoke (coordinator + 2 replicas: stickiness, cache locality, failover, drain)"
+# A 3-process local cluster: two backend-mode replicas and a coordinator
+# consistent-hashing formulas across them. The same upload twice must
+# route to the same replica (X-Backend equal) with the second answer a
+# cache hit served through the proxy; killing that replica must reroute
+# the third identical upload to the survivor (fresh miss, still UNSAT);
+# SIGTERM must drain the whole topology with exit 0 everywhere.
+"$SMOKE_DIR/neuroselect-serve" -addr 127.0.0.1:0 -workers 2 -backend-name r1 \
+	> "$SMOKE_DIR/repl1.txt" 2>&1 &
+R1_PID=$!
+"$SMOKE_DIR/neuroselect-serve" -addr 127.0.0.1:0 -workers 2 -backend-name r2 \
+	> "$SMOKE_DIR/repl2.txt" 2>&1 &
+R2_PID=$!
+api1=""
+api2=""
+i=0
+while { [ -z "$api1" ] || [ -z "$api2" ]; } && [ "$i" -lt 100 ]; do
+	api1="$(sed -n 's/^solving API listening on //p' "$SMOKE_DIR/repl1.txt" 2>/dev/null)"
+	api2="$(sed -n 's/^solving API listening on //p' "$SMOKE_DIR/repl2.txt" 2>/dev/null)"
+	{ [ -n "$api1" ] && [ -n "$api2" ]; } || sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$api1" ] || [ -z "$api2" ]; then
+	echo "cluster smoke: FAIL — replicas never announced their listen addresses"
+	exit 1
+fi
+"$SMOKE_DIR/neuroselect-serve" -coordinator \
+	-replicas "http://$api1,http://$api2" -addr 127.0.0.1:0 \
+	-probe-interval 250ms -metrics-addr 127.0.0.1:0 \
+	> "$SMOKE_DIR/coord.txt" 2>&1 &
+COORD_PID=$!
+capi=""
+i=0
+while [ -z "$capi" ] && [ "$i" -lt 100 ]; do
+	capi="$(sed -n 's/^cluster coordinator listening on //p' "$SMOKE_DIR/coord.txt" 2>/dev/null |
+		sed 's/ (.*//')"
+	[ -n "$capi" ] || sleep 0.1
+	i=$((i + 1))
+done
+if [ -z "$capi" ]; then
+	echo "cluster smoke: FAIL — coordinator never announced its listen address"
+	exit 1
+fi
+cmaddr="$(sed -n 's/^metrics listening on //p' "$SMOKE_DIR/coord.txt")"
+
+# Same formula twice through the coordinator: sticky backend, cache hit.
+curl -fsS -D "$SMOKE_DIR/ch1.txt" --data-binary @"$SMOKE_DIR/php8.cnf" \
+	"http://$capi/v1/solve" > "$SMOKE_DIR/cr1.json"
+curl -fsS -D "$SMOKE_DIR/ch2.txt" --data-binary @"$SMOKE_DIR/php8.cnf" \
+	"http://$capi/v1/solve" > "$SMOKE_DIR/cr2.json"
+be1="$(sed -n 's/^[Xx]-[Bb]ackend: *//p' "$SMOKE_DIR/ch1.txt" | tr -d '\r')"
+be2="$(sed -n 's/^[Xx]-[Bb]ackend: *//p' "$SMOKE_DIR/ch2.txt" | tr -d '\r')"
+if [ -z "$be1" ] || [ "$be1" != "$be2" ]; then
+	echo "cluster smoke: FAIL — identical uploads routed to '$be1' then '$be2', want one sticky backend"
+	exit 1
+fi
+grep -q '"status":"UNSAT"' "$SMOKE_DIR/cr1.json" || {
+	echo "cluster smoke: FAIL — php-8 through the coordinator did not solve UNSAT"
+	exit 1
+}
+grep -qi '^x-cache: hit' "$SMOKE_DIR/ch2.txt" || {
+	echo "cluster smoke: FAIL — second identical upload was not a cache hit through the coordinator"
+	exit 1
+}
+cmp -s "$SMOKE_DIR/cr1.json" "$SMOKE_DIR/cr2.json" || {
+	echo "cluster smoke: FAIL — cache hit body differs from the original through the coordinator"
+	exit 1
+}
+
+# Kill the owning replica (no drain — a crash): the next identical upload
+# must fail over to the survivor and solve fresh.
+case "$be1" in
+r1) kill -9 "$R1_PID" && wait "$R1_PID" 2>/dev/null || true
+	R1_PID="" ;;
+r2) kill -9 "$R2_PID" && wait "$R2_PID" 2>/dev/null || true
+	R2_PID="" ;;
+*)
+	echo "cluster smoke: FAIL — unexpected X-Backend '$be1'"
+	exit 1
+	;;
+esac
+curl -fsS -D "$SMOKE_DIR/ch3.txt" --data-binary @"$SMOKE_DIR/php8.cnf" \
+	"http://$capi/v1/solve" > "$SMOKE_DIR/cr3.json"
+be3="$(sed -n 's/^[Xx]-[Bb]ackend: *//p' "$SMOKE_DIR/ch3.txt" | tr -d '\r')"
+if [ -z "$be3" ] || [ "$be3" = "$be1" ]; then
+	echo "cluster smoke: FAIL — after killing $be1 the request still routed to '$be3'"
+	exit 1
+fi
+grep -qi '^x-cache: miss' "$SMOKE_DIR/ch3.txt" || {
+	echo "cluster smoke: FAIL — failover request was not a fresh miss on the survivor"
+	exit 1
+}
+grep -q '"status":"UNSAT"' "$SMOKE_DIR/cr3.json" || {
+	echo "cluster smoke: FAIL — failover solve did not answer UNSAT"
+	exit 1
+}
+
+# Routing is observable on the coordinator's own metrics plane.
+curl -fsS "http://$cmaddr/metrics" | awk '
+	$1 ~ /^neuroselect_cluster_routed_total/ { sum += $2 }
+	END { exit(sum > 0 ? 0 : 1) }' || {
+	echo "cluster smoke: FAIL — neuroselect_cluster_routed_total never moved"
+	exit 1
+}
+
+# SIGTERM drain of the whole topology: coordinator and survivor exit 0.
+kill -TERM "$COORD_PID"
+rc=0
+wait "$COORD_PID" || rc=$?
+COORD_PID=""
+if [ "$rc" != 0 ]; then
+	echo "cluster smoke: FAIL — coordinator exited $rc after drain"
+	exit 1
+fi
+surv_pid="$R1_PID$R2_PID" # exactly one survivor remains
+kill -TERM "$surv_pid"
+rc=0
+wait "$surv_pid" || rc=$?
+R1_PID=""
+R2_PID=""
+if [ "$rc" != 0 ]; then
+	echo "cluster smoke: FAIL — surviving replica exited $rc after drain"
+	exit 1
+fi
+echo "cluster smoke: sticky routing, proxied cache hit, failover on crash, topology drain all ok"
 
 echo "== benchmark regression gate (BENCH_solver.json delta)"
 if [ "${BENCH_DELTA_SKIP:-0}" = 1 ]; then
