@@ -262,13 +262,17 @@ func (c *Coordinator) Handler() http.Handler {
 }
 
 // handleHealth is the coordinator's own liveness: 200 "ok" while
-// routing, 503 "draining" during shutdown, plus one line per backend so
-// an operator's curl shows the ring state at a glance.
+// routing, 503 "draining" during shutdown, 503 "degraded" when every
+// backend is ejected (an upstream load balancer should prefer a
+// coordinator that can actually route), plus one line per backend so an
+// operator's curl shows the ring state at a glance.
 func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	code, state := http.StatusOK, "ok"
 	if c.Draining() {
 		code, state = http.StatusServiceUnavailable, "draining"
+	} else if len(c.liveBackends()) == 0 {
+		code, state = http.StatusServiceUnavailable, "degraded"
 	}
 	w.WriteHeader(code)
 	fmt.Fprintln(w, state)

@@ -8,6 +8,8 @@ package cluster
 
 import (
 	"bufio"
+	"compress/gzip"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -332,6 +334,156 @@ func TestCoordinatorSessions(t *testing.T) {
 	drainBody(t, gone)
 	if gone.StatusCode != 404 {
 		t.Fatalf("info after delete: %d, want 404", gone.StatusCode)
+	}
+}
+
+// TestCoordinatorSessionAffinityMiss: after the coordinator loses its
+// session-id → backend mapping (restart, LRU eviction), a session step
+// and a session delete still reach the true owner. The scatter probe
+// must be a side-effect-free GET accepted only on 2xx — forwarding the
+// original POST/DELETE would draw a 405 from non-owners (poisoning the
+// map with the first replica in ring order) or execute the delete
+// during the probe and then report 404 for the re-sent operation.
+func TestCoordinatorSessionAffinityMiss(t *testing.T) {
+	tc := newTestCluster(t, 2)
+
+	// Find a session owned by a backend that is NOT first in scatter
+	// order, so a method-forwarding probe would hit a non-owner first.
+	scatterFirst := tc.coord.liveBackends()[0].name
+	var sessID, owner string
+	for k := 1; k <= 64 && sessID == ""; k++ {
+		body := fmt.Sprintf("p cnf %d 1\n%d 0\n", k, k)
+		resp, err := http.Post(tc.front.URL+"/v1/sessions", "text/plain", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		b := drainBody(t, resp)
+		if resp.StatusCode != 200 && resp.StatusCode != 201 {
+			t.Fatalf("create: %d %s", resp.StatusCode, b)
+		}
+		var sess struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(b, &sess); err != nil || sess.ID == "" {
+			t.Fatalf("create body %s (err %v)", b, err)
+		}
+		if be := resp.Header.Get("X-Backend"); be != scatterFirst {
+			sessID, owner = sess.ID, be
+		}
+	}
+	if sessID == "" {
+		t.Fatalf("no session landed off the scatter-first backend %q", scatterFirst)
+	}
+
+	// Simulate a coordinator restart: forget the session's owner.
+	tc.coord.sessRoute.Delete(sessID)
+	step, err := http.Post(tc.front.URL+"/v1/sessions/"+sessID+"/solve",
+		"application/json", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	sb := drainBody(t, step)
+	if step.StatusCode != 200 {
+		t.Fatalf("step after affinity miss: %d %s", step.StatusCode, sb)
+	}
+	if got := step.Header.Get("X-Backend"); got != owner {
+		t.Fatalf("step after affinity miss routed to %q, want owner %q", got, owner)
+	}
+
+	// Forget again, then delete: the probe must not consume the delete.
+	tc.coord.sessRoute.Delete(sessID)
+	req, _ := http.NewRequest(http.MethodDelete, tc.front.URL+"/v1/sessions/"+sessID, nil)
+	del, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	drainBody(t, del)
+	if del.StatusCode != 200 && del.StatusCode != 204 {
+		t.Fatalf("delete after affinity miss: %d", del.StatusCode)
+	}
+	gone, err := http.Get(tc.front.URL + "/v1/sessions/" + sessID)
+	if err != nil {
+		t.Fatalf("info after delete: %v", err)
+	}
+	drainBody(t, gone)
+	if gone.StatusCode != 404 {
+		t.Fatalf("info after delete: %d, want 404", gone.StatusCode)
+	}
+}
+
+// TestCoordinatorClientCancelKeepsBackendsUp: a client disconnecting
+// mid-request (canceled inbound context) must not eject backends —
+// before the clientGone guard, one abandoned request could cascade the
+// canceled context across every ring member and mark the whole cluster
+// down.
+func TestCoordinatorClientCancelKeepsBackendsUp(t *testing.T) {
+	tc := newTestCluster(t, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone
+	req, _ := http.NewRequestWithContext(ctx, http.MethodPost,
+		tc.front.URL+"/v1/solve", strings.NewReader(testCNFSat))
+	rec := httptest.NewRecorder()
+	tc.coord.Handler().ServeHTTP(rec, req)
+
+	for name, b := range tc.coord.backends {
+		if !b.up.Load() {
+			t.Fatalf("backend %s ejected by a client-canceled request", name)
+		}
+	}
+}
+
+// TestRouteKeyGzipBounded: routeKey's decompression is capped, so a
+// gzip bomb routes by its raw digest instead of expanding in
+// coordinator memory, while a legitimately gzipped formula still hashes
+// to the same key as its plain upload.
+func TestRouteKeyGzipBounded(t *testing.T) {
+	gzipped := func(s string) []byte {
+		var buf strings.Builder
+		gw := gzip.NewWriter(&buf)
+		if _, err := io.WriteString(gw, s); err != nil {
+			t.Fatal(err)
+		}
+		if err := gw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return []byte(buf.String())
+	}
+
+	plainKey := routeKey([]byte(testCNFSat), "", 1<<20)
+	if gzKey := routeKey(gzipped(testCNFSat), "gzip", 1<<20); gzKey != plainKey {
+		t.Fatalf("gzip key %q != plain key %q", gzKey, plainKey)
+	}
+
+	bomb := gzipped(strings.Repeat("a", 1<<20)) // ~1 KiB compressed, 1 MiB expanded
+	if key := routeKey(bomb, "gzip", 4096); !strings.HasPrefix(key, "raw:") {
+		t.Fatalf("over-limit gzip body routed by %q, want a raw: digest", key)
+	}
+}
+
+// TestCoordinatorHealthDegraded: with every backend ejected the
+// coordinator's own /healthz flips to 503 degraded, so an upstream load
+// balancer stops sending traffic to a coordinator that can only 502.
+func TestCoordinatorHealthDegraded(t *testing.T) {
+	tc := newTestCluster(t, 2)
+	for _, ts := range tc.backends {
+		ts.CloseClientConnections()
+		ts.Close()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		hz, err := http.Get(tc.front.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("healthz: %v", err)
+		}
+		body := string(drainBody(t, hz))
+		if hz.StatusCode == 503 && strings.HasPrefix(body, "degraded\n") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz never degraded: %d %q", hz.StatusCode, body)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

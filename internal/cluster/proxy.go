@@ -21,6 +21,7 @@ package cluster
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -59,15 +60,19 @@ func (c *Coordinator) refuseIfDraining(w http.ResponseWriter) bool {
 // decompressed for hashing only, forwarded as the original bytes), else
 // a digest of the raw bytes so even malformed uploads route
 // deterministically (their 400s come from one replica, not all of them).
-func routeKey(body []byte, contentEncoding string) string {
+// Decompression is capped at maxBytes, the same expansion guard the
+// replicas apply: a gzip bomb falls through to the raw-bytes digest
+// instead of expanding in coordinator memory.
+func routeKey(body []byte, contentEncoding string, maxBytes int64) string {
 	plain := body
 	if strings.EqualFold(contentEncoding, "gzip") {
 		gz, err := gzip.NewReader(bytes.NewReader(body))
 		if err == nil {
-			if p, err := io.ReadAll(gz); err == nil {
+			p, rerr := io.ReadAll(io.LimitReader(gz, maxBytes+1))
+			gz.Close()
+			if rerr == nil && int64(len(p)) <= maxBytes {
 				plain = p
 			}
-			gz.Close()
 		}
 	}
 	if f, err := cnf.ParseDIMACS(bytes.NewReader(plain)); err == nil {
@@ -98,7 +103,7 @@ func (c *Coordinator) handleHashRouted(endpoint string) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, "read body: "+err.Error())
 			return
 		}
-		key := routeKey(body, r.Header.Get("Content-Encoding"))
+		key := routeKey(body, r.Header.Get("Content-Encoding"), c.cfg.MaxBodyBytes)
 		first := true
 		for _, name := range c.ring.Order(key) {
 			b := c.backends[name]
@@ -109,8 +114,14 @@ func (c *Coordinator) handleHashRouted(endpoint string) http.HandlerFunc {
 				c.m.retries.Inc()
 			}
 			first = false
-			resp, err := c.forward(r, b, r.URL.Path, body)
+			resp, err := c.forward(r, b, r.Method, r.URL.Path, body)
 			if err != nil {
+				if clientGone(r, err) {
+					// The client hung up, not the backend: nobody is
+					// listening for a response, and retrying with a
+					// canceled context would fail on every backend.
+					return
+				}
 				// No response bytes: the backend never processed the
 				// request. Mark it down and try the key's next preference.
 				c.noteTransportFailure(b)
@@ -163,10 +174,13 @@ func (c *Coordinator) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	c.copyResponse(w, resp, b)
 }
 
-// fetchByID resolves an id-addressed GET: the affinity-mapped backend
-// first (if live), then every other live backend in ring order. The
-// first non-404 response wins; nothing but 404s (or no live backend at
-// all) reports not-found to the caller.
+// fetchByID resolves an id-addressed lookup: the affinity-mapped
+// backend first (if live), then every other live backend in ring order.
+// Probes are always sent as GETs — the original request may be a POST or
+// DELETE, and a probe must only ask "is this id yours?", never execute
+// the operation on a guessed owner. Only a 2xx answer counts as
+// ownership evidence (a 405 or 500 is not "found", and recording it
+// would poison the affinity map); nothing but misses reports not-found.
 func (c *Coordinator) fetchByID(r *http.Request, m *routeMap, id, path string) (*http.Response, *backend, bool) {
 	var cands []*backend
 	if name, ok := m.Get(id); ok {
@@ -186,12 +200,15 @@ func (c *Coordinator) fetchByID(r *http.Request, m *routeMap, id, path string) (
 			c.m.retries.Inc()
 		}
 		first = false
-		resp, err := c.forward(r, b, path, nil)
+		resp, err := c.forward(r, b, http.MethodGet, path, nil)
 		if err != nil {
+			if clientGone(r, err) {
+				return nil, nil, false
+			}
 			c.noteTransportFailure(b)
 			continue
 		}
-		if resp.StatusCode == http.StatusNotFound {
+		if resp.StatusCode < 200 || resp.StatusCode >= 300 {
 			_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
 			continue
@@ -217,9 +234,11 @@ func (c *Coordinator) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "unknown job id")
 		return
 	}
-	resp, err := c.forward(r, owner, "/v1/jobs/"+id+"/events", nil)
+	resp, err := c.forward(r, owner, http.MethodGet, "/v1/jobs/"+id+"/events", nil)
 	if err != nil {
-		c.noteTransportFailure(owner)
+		if !clientGone(r, err) {
+			c.noteTransportFailure(owner)
+		}
 		writeError(w, http.StatusBadGateway, "backend unreachable")
 		return
 	}
@@ -286,9 +305,11 @@ func (c *Coordinator) handleSessionOp(endpoint string) http.HandlerFunc {
 				return
 			}
 		}
-		resp, err := c.forward(r, owner, r.URL.Path, body)
+		resp, err := c.forward(r, owner, r.Method, r.URL.Path, body)
 		if err != nil {
-			c.noteTransportFailure(owner)
+			if !clientGone(r, err) {
+				c.noteTransportFailure(owner)
+			}
 			writeError(w, http.StatusBadGateway, "session backend unreachable; recreate the session")
 			return
 		}
@@ -301,11 +322,22 @@ func (c *Coordinator) handleSessionOp(endpoint string) http.HandlerFunc {
 	}
 }
 
-// forward sends one proxied request to a backend: same method, path and
-// query, a re-sendable buffered body, and the headers that matter —
-// content negotiation, SSE resume position, and the correlation id the
-// coordinator's middleware established.
-func (c *Coordinator) forward(r *http.Request, b *backend, path string, body []byte) (*http.Response, error) {
+// clientGone reports whether a forward error is the client's doing —
+// the inbound request context was canceled (disconnect mid-request) —
+// rather than a backend transport failure. Such errors must not eject
+// the backend or trigger failover: the backend is healthy, and a retry
+// with a canceled context would fail on every ring member in turn,
+// cascade-ejecting the whole cluster over one abandoned request.
+func clientGone(r *http.Request, err error) bool {
+	return r.Context().Err() != nil || errors.Is(err, context.Canceled)
+}
+
+// forward sends one proxied request to a backend: the given method (the
+// inbound method for real proxying, an explicit GET for ownership
+// probes), path and query, a re-sendable buffered body, and the headers
+// that matter — content negotiation, SSE resume position, and the
+// correlation id the coordinator's middleware established.
+func (c *Coordinator) forward(r *http.Request, b *backend, method, path string, body []byte) (*http.Response, error) {
 	u := *b.base
 	u.Path = strings.TrimSuffix(u.Path, "/") + path
 	u.RawQuery = r.URL.RawQuery
@@ -313,7 +345,7 @@ func (c *Coordinator) forward(r *http.Request, b *backend, path string, body []b
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), rd)
+	req, err := http.NewRequestWithContext(r.Context(), method, u.String(), rd)
 	if err != nil {
 		return nil, err
 	}
@@ -329,13 +361,20 @@ func (c *Coordinator) forward(r *http.Request, b *backend, path string, body []b
 }
 
 // copyResponse relays a buffered (non-streaming) backend response:
-// headers, status, body. Returns the body bytes so creating endpoints
-// can mine the resource id for the affinity maps.
+// headers, status, body. A response beyond MaxBodyBytes is refused with
+// a 502 — relaying a truncated body under the backend's Content-Length
+// would leave the client hanging mid-read. Returns the body bytes so
+// creating endpoints can mine the resource id for the affinity maps.
 func (c *Coordinator) copyResponse(w http.ResponseWriter, resp *http.Response, b *backend) []byte {
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, c.cfg.MaxBodyBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadGateway, "read backend response: "+err.Error())
+		return nil
+	}
+	if int64(len(body)) > c.cfg.MaxBodyBytes {
+		writeError(w, http.StatusBadGateway,
+			fmt.Sprintf("backend response exceeds %d bytes", c.cfg.MaxBodyBytes))
 		return nil
 	}
 	copyHeaders(w, resp, b)
